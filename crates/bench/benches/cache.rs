@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the cache policies under a Zipf trace.
+
+#![allow(missing_docs)] // criterion_group!/criterion_main! expand undocumented items
+
+use bpp_cache::{LfuCache, LruCache, ReplacementPolicy, StaticScoreCache};
+use bpp_workload::{AliasTable, Zipf};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const DB: usize = 1000;
+const CAP: usize = 100;
+const TRACE: usize = 10_000;
+
+fn zipf_trace() -> Vec<usize> {
+    let z = Zipf::new(DB, 0.95);
+    let t = AliasTable::new(z.probs());
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..TRACE).map(|_| t.sample(&mut rng)).collect()
+}
+
+fn run_trace<P: ReplacementPolicy>(cache: &mut P, trace: &[usize]) -> u64 {
+    let mut hits = 0u64;
+    for &item in trace {
+        if cache.lookup(item) {
+            hits += 1;
+        } else {
+            cache.insert(item);
+        }
+    }
+    hits
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = zipf_trace();
+    let z = Zipf::new(DB, 0.95);
+    let freqs: Vec<usize> = (0..DB).map(|i| if i < 100 { 3 } else if i < 500 { 2 } else { 1 }).collect();
+    let mut g = c.benchmark_group("cache_trace_10k");
+    g.bench_function("pix", |b| {
+        b.iter(|| {
+            let mut cache = StaticScoreCache::pix(CAP, z.probs(), &freqs);
+            black_box(run_trace(&mut cache, &trace))
+        });
+    });
+    g.bench_function("p", |b| {
+        b.iter(|| {
+            let mut cache = StaticScoreCache::p(CAP, z.probs());
+            black_box(run_trace(&mut cache, &trace))
+        });
+    });
+    g.bench_function("lru", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(CAP);
+            black_box(run_trace(&mut cache, &trace))
+        });
+    });
+    g.bench_function("lfu", |b| {
+        b.iter(|| {
+            let mut cache = LfuCache::new(CAP);
+            black_box(run_trace(&mut cache, &trace))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for broadcast-program construction and
+
+#![allow(missing_docs)] // criterion_group!/criterion_main! expand undocumented items
+//! schedule queries (the per-slot hot path of the simulator).
+
+use bpp_broadcast::{assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn paper_assignment() -> Assignment {
+    Assignment::with_offset(&identity_ranking(1000), &DiskSpec::paper_default(), 100)
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("program_generation");
+    g.bench_function("paper_1000_pages", |b| {
+        let a = paper_assignment();
+        b.iter(|| BroadcastProgram::generate(black_box(&a), 1000));
+    });
+    g.bench_function("large_10000_pages", |b| {
+        let spec = DiskSpec::new(vec![1000, 4000, 5000], vec![3, 2, 1]);
+        let a = Assignment::with_offset(&identity_ranking(10_000), &spec, 1000);
+        b.iter(|| BroadcastProgram::generate(black_box(&a), 10_000));
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let program = BroadcastProgram::generate(&paper_assignment(), 1000);
+    let mut g = c.benchmark_group("schedule_queries");
+    g.bench_function("slots_until", |b| {
+        let mut cursor = 0usize;
+        let mut page = 0u32;
+        b.iter(|| {
+            cursor = (cursor + 97) % program.major_cycle();
+            page = (page + 13) % 1000;
+            black_box(program.slots_until(PageId(page), cursor))
+        });
+    });
+    g.bench_function("expected_slots", |b| {
+        let mut page = 0u32;
+        b.iter(|| {
+            page = (page + 13) % 1000;
+            black_box(program.expected_slots(PageId(page)))
+        });
+    });
+    g.bench_function("frequency", |b| {
+        let mut page = 0u32;
+        b.iter(|| {
+            page = (page + 13) % 1000;
+            black_box(program.frequency(PageId(page)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **Cache policy** (Pure-Push): PIX vs. P vs. LRU vs. LFU — reproduces
+//!    the \[Acha95a\] claim that probability-only and recency policies lose
+//!    to cost-based PIX on a multi-disk broadcast.
+//! 2. **Offset** (Pure-Push): offset on vs. off — why the server shifts the
+//!    client-cached hot pages to the slowest disk.
+//! 3. **Queue discipline** (IPP under load): FIFO vs. most-requested-first.
+//! 4. **Adaptive IPP** (extension): static knobs vs. the drop-rate-driven
+//!    controller across the load sweep.
+
+use bpp_bench::Opts;
+use bpp_core::adaptive::{run_adaptive, AdaptiveConfig};
+use bpp_core::experiments::{par_run, TTR_GRID};
+use bpp_core::report::{fmt_units, Table};
+use bpp_core::{run_steady_state, Algorithm, CachePolicy, QueueDiscipline, SystemConfig};
+
+fn main() {
+    let opts = Opts::parse();
+    let base = opts.base();
+    let proto = opts.protocol();
+
+    // --- 1. Cache policy under Pure-Push. ---
+    let mut t = Table::new(
+        "Ablation 1 — MC cache policy under Pure-Push",
+        &["policy", "response (bu)", "hit rate"],
+    );
+    for (name, policy) in [
+        ("PIX (paper)", CachePolicy::Pix),
+        ("P", CachePolicy::P),
+        ("LRU", CachePolicy::Lru),
+        ("LFU", CachePolicy::Lfu),
+    ] {
+        let mut c = base.clone();
+        c.algorithm = Algorithm::PurePush;
+        c.mc_cache_policy = Some(policy);
+        let r = run_steady_state(&c, &proto);
+        t.push_row(vec![
+            name.into(),
+            fmt_units(r.mean_response),
+            format!("{:.1}%", r.mc_hit_rate * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- 2. Offset on/off under Pure-Push. ---
+    let mut t = Table::new(
+        "Ablation 2 — Offset transform under Pure-Push",
+        &["offset", "response (bu)", "hit rate"],
+    );
+    for on in [true, false] {
+        let mut c = base.clone();
+        c.algorithm = Algorithm::PurePush;
+        c.offset = on;
+        let r = run_steady_state(&c, &proto);
+        t.push_row(vec![
+            on.to_string(),
+            fmt_units(r.mean_response),
+            format!("{:.1}%", r.mc_hit_rate * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- 3. Queue discipline under loaded IPP. ---
+    let mut t = Table::new(
+        "Ablation 3 — server queue discipline, IPP PullBW=50%",
+        &["TTR", "FIFO (paper)", "MostRequested"],
+    );
+    let mk = |disc: QueueDiscipline| -> Vec<SystemConfig> {
+        TTR_GRID
+            .iter()
+            .map(|&ttr| {
+                let mut c = base.clone();
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = 0.5;
+                c.think_time_ratio = ttr;
+                c.queue_discipline = disc;
+                c
+            })
+            .collect()
+    };
+    let fifo = par_run(&mk(QueueDiscipline::Fifo), &proto);
+    let mrf = par_run(&mk(QueueDiscipline::MostRequested), &proto);
+    for ((ttr, f), m) in TTR_GRID.iter().zip(&fifo).zip(&mrf) {
+        t.push_row(vec![
+            fmt_units(*ttr),
+            fmt_units(f.mean_response),
+            fmt_units(m.mean_response),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- 3b. Opportunistic prefetching (extension, [Acha96a]). ---
+    let mut t = Table::new(
+        "Ablation 3b — demand caching vs opportunistic prefetch (Pure-Push)",
+        &["metric", "demand (paper)", "prefetch"],
+    );
+    {
+        let mk = |prefetch: bool| {
+            let mut c = base.clone();
+            c.algorithm = Algorithm::PurePush;
+            c.mc_prefetch = prefetch;
+            c
+        };
+        let rd = run_steady_state(&mk(false), &proto);
+        let rp = run_steady_state(&mk(true), &proto);
+        t.push_row(vec![
+            "steady-state response (bu)".into(),
+            fmt_units(rd.mean_response),
+            fmt_units(rp.mean_response),
+        ]);
+        let wd = bpp_core::run_warmup(&mk(false), &proto);
+        let wp = bpp_core::run_warmup(&mk(true), &proto);
+        let last = |w: &bpp_core::WarmupResult| {
+            w.times
+                .last()
+                .copied()
+                .flatten()
+                .map_or("> cap".to_string(), fmt_units)
+        };
+        t.push_row(vec!["95% warm-up time (bu)".into(), last(&wd), last(&wp)]);
+    }
+    println!("{}", t.render());
+
+    // --- 4. Static vs adaptive IPP. ---
+    let mut t = Table::new(
+        "Ablation 4 — static IPP (PullBW=50%, Thres=0) vs adaptive IPP",
+        &["TTR", "static", "adaptive", "final PullBW", "final Thres"],
+    );
+    for &ttr in &TTR_GRID {
+        let mut c = base.clone();
+        c.algorithm = Algorithm::Ipp;
+        c.pull_bw = 0.5;
+        c.thres_perc = 0.0;
+        c.think_time_ratio = ttr;
+        let stat = run_steady_state(&c, &proto);
+        let adpt = run_adaptive(&c, &proto, AdaptiveConfig::default());
+        t.push_row(vec![
+            fmt_units(ttr),
+            fmt_units(stat.mean_response),
+            fmt_units(adpt.steady.mean_response),
+            format!("{:.0}%", adpt.final_pull_bw * 100.0),
+            format!("{:.0}%", adpt.final_thres_perc * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+}

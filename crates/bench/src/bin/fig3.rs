@@ -1,0 +1,36 @@
+//! Regenerates Figure 3: the basic push/pull trade-off.
+//!
+//! * 3(a): Push, Pull and IPP (PullBW 50%) vs. ThinkTimeRatio at
+//!   SteadyStatePerc 0% / 95%.
+//! * 3(b): IPP PullBW ∈ {10, 30, 50}% at SteadyStatePerc 95%.
+//!
+//! With `--drops`, also prints the server drop/ignore rates — including the
+//! §4.1.2 checkpoint that IPP at PullBW 10% drops a large share of requests
+//! even at ThinkTimeRatio 10 (the paper measured 58%).
+
+use bpp_bench::{emit, Opts};
+use bpp_core::experiments::{fig3a, fig3b};
+
+fn main() {
+    let opts = Opts::parse();
+    let base = opts.base();
+    let proto = opts.protocol();
+
+    let a = fig3a(&base, &proto);
+    emit(&a, &opts);
+
+    let b = fig3b(&base, &proto);
+    emit(&b, &opts);
+
+    // §4.1.2 scalar checkpoint: drops for IPP PullBW=10% at TTR=10.
+    if let Some(s) = b.series.iter().find(|s| s.label.contains("10%")) {
+        if let Some(r) = s.results.first() {
+            println!(
+                "checkpoint S2 (paper: 58% of pulls dropped, IPP PullBW=10%, TTR=10): \
+                 measured drop {:.1}%, ignore {:.1}%",
+                r.drop_rate * 100.0,
+                r.ignore_rate * 100.0
+            );
+        }
+    }
+}

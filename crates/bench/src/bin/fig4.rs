@@ -1,0 +1,19 @@
+//! Regenerates Figure 4: client cache warm-up time.
+//!
+//! * 4(a): ThinkTimeRatio 25 (lightly loaded) — Pure-Pull warms fastest.
+//! * 4(b): ThinkTimeRatio 250 (heavily loaded) — the ordering inverts and
+//!   Pure-Push warms fastest.
+//!
+//! X axis: percentage of the `CacheSize` highest-valued pages acquired;
+//! Y: broadcast units since the cold start.
+
+use bpp_bench::{emit, Opts};
+use bpp_core::experiments::fig4;
+
+fn main() {
+    let opts = Opts::parse();
+    let base = opts.base();
+    let proto = opts.protocol();
+    emit(&fig4(&base, &proto, 25.0), &opts);
+    emit(&fig4(&base, &proto, 250.0), &opts);
+}

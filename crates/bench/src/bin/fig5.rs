@@ -1,0 +1,20 @@
+//! Regenerates Figure 5: sensitivity to access-pattern divergence (Noise).
+//!
+//! * 5(a): Pure-Pull vs. Pure-Push at Noise ∈ {0, 15, 35}%.
+//! * 5(b): IPP (PullBW 50%) vs. Pure-Push at the same Noise levels.
+//!
+//! Expected shape: at light load the pull side is insensitive to Noise; at
+//! heavy load Noise hurts badly (the MC depends on other clients requesting
+//! its pages). IPP saturates earlier but is overall less Noise-sensitive
+//! thanks to the push "safety net".
+
+use bpp_bench::{emit, Opts};
+use bpp_core::experiments::{fig5a, fig5b};
+
+fn main() {
+    let opts = Opts::parse();
+    let base = opts.base();
+    let proto = opts.protocol();
+    emit(&fig5a(&base, &proto), &opts);
+    emit(&fig5b(&base, &proto), &opts);
+}

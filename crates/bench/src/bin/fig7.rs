@@ -1,0 +1,36 @@
+//! Regenerates Figure 7: restricting the contents of the push schedule.
+//!
+//! ThinkTimeRatio 25, pages chopped from the slowest disks (x axis), IPP at
+//! PullBW ∈ {10, 30, 50}%.
+//!
+//! * 7(a): ThresPerc 0% — without a threshold, chopping overwhelms small
+//!   pull bandwidths (the PullBW 10% curve blows up).
+//! * 7(b): ThresPerc 35% — the threshold reserves the backchannel for the
+//!   non-broadcast pages and chopping *improves* response time while the
+//!   pull bandwidth lasts (the paper quotes 155 → 63 bu for PullBW 50%).
+
+use bpp_bench::{emit, Opts};
+use bpp_core::experiments::fig7;
+use bpp_core::report::fmt_units;
+
+fn main() {
+    let opts = Opts::parse();
+    let base = opts.base();
+    let proto = opts.protocol();
+
+    emit(&fig7(&base, &proto, 0.0), &opts);
+    let b = fig7(&base, &proto, 0.35);
+    emit(&b, &opts);
+
+    // §4.3 scalar checkpoint: IPP PullBW 50% endpoints in 7(b).
+    if let Some(s) = b.series.iter().find(|s| s.label.contains("50%")) {
+        if let (Some(first), Some(last)) = (s.points.first(), s.points.last()) {
+            println!(
+                "checkpoint S4 (paper: 155 bu at chop=0 and 63 bu at chop=700, \
+                 IPP PullBW=50%, ThresPerc=35%): measured {} bu and {} bu",
+                fmt_units(first.1),
+                fmt_units(last.1)
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 8: server-load sensitivity of the restricted push
+//! schedule (IPP PullBW 30%, ThresPerc 35%, chop ∈ {0, 200, 300, 500, 700}).
+//!
+//! Expected shape: under light load, deeper chopping helps (more bandwidth
+//! for pulls); past saturation the ordering inverts — heavily chopped
+//! schedules lose their safety net and the −700 curve ends up worse than
+//! Pure-Pull across the range.
+
+use bpp_bench::{emit, Opts};
+use bpp_core::experiments::fig8;
+
+fn main() {
+    let opts = Opts::parse();
+    emit(&fig8(&opts.base(), &opts.protocol()), &opts);
+}

@@ -1,0 +1,97 @@
+//! Prints the paper's parameter tables (Tables 1–3) as realised by this
+//! implementation, the structure of the generated broadcast program
+//! (Figure 1 example plus the evaluation program), and the analytic
+//! cross-checks.
+
+use bpp_bench::Opts;
+use bpp_core::analytic;
+use bpp_core::report::{fmt_units, Table};
+use bpp_core::{Algorithm, SystemConfig};
+use bpp_broadcast::{assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot};
+
+fn main() {
+    let opts = Opts::parse();
+    let cfg = opts.base();
+
+    // Table 3: parameter settings.
+    let mut t3 = Table::new("Table 3 — parameter settings", &["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("ServerDBSize", cfg.db_size.to_string()),
+        ("CacheSize", cfg.cache_size.to_string()),
+        ("MC ThinkTime", fmt_units(cfg.mc_think_time)),
+        ("ThinkTimeRatio", "10, 25, 50, 100, 250".into()),
+        ("SteadyStatePerc", "0%, 95%".into()),
+        ("Noise", "0%, 15%, 35%".into()),
+        ("Zipf theta", format!("{}", cfg.zipf_theta)),
+        ("NumDisks", cfg.disk_sizes.len().to_string()),
+        ("DiskSize 1,2,3", format!("{:?}", cfg.disk_sizes)),
+        ("RelFreq 1,2,3", format!("{:?}", cfg.rel_freqs)),
+        ("ServerQSize", cfg.server_queue_size.to_string()),
+        ("PullBW", "10%..50%".into()),
+        ("ThresPerc", "0%, 10%, 25%, 35%".into()),
+        ("Offset", cfg.offset.to_string()),
+    ];
+    for (k, v) in rows {
+        t3.push_row(vec![k.to_string(), v]);
+    }
+    println!("{}", t3.render());
+
+    // Figure 1: the 7-page, 3-disk example program.
+    let spec = DiskSpec::new(vec![1, 2, 4], vec![4, 2, 1]);
+    let prog = BroadcastProgram::generate(
+        &Assignment::from_ranking(&identity_ranking(7), &spec),
+        7,
+    );
+    let names = ["a", "b", "c", "d", "e", "f", "g"];
+    let layout: Vec<&str> = prog
+        .slots()
+        .iter()
+        .map(|s| match s {
+            Slot::Page(p) => names[p.index()],
+            Slot::Empty => "-",
+        })
+        .collect();
+    println!(
+        "Figure 1 — example broadcast program (7 pages, disks 1/2/4 at 4:2:1):\n  {}\n",
+        layout.join(" ")
+    );
+
+    // The evaluation program.
+    let program = analytic::build_program(&cfg);
+    let mut tp = Table::new("Generated broadcast program (evaluation config)", &["property", "value"]);
+    tp.push_row(vec!["major cycle (slots)".into(), program.major_cycle().to_string()]);
+    tp.push_row(vec!["minor cycle (slots)".into(), program.minor_cycle().to_string()]);
+    tp.push_row(vec!["minor cycles".into(), program.num_minor_cycles().to_string()]);
+    tp.push_row(vec!["padding slots".into(), program.empty_slots().to_string()]);
+    tp.push_row(vec!["distinct pages".into(), program.distinct_pages().to_string()]);
+    for (label, pid) in [
+        ("fast-disk page delay", PageId((cfg.cache_size + 1) as u32)),
+        ("mid-disk page delay", PageId((cfg.cache_size + cfg.disk_sizes[0] + 1) as u32)),
+        ("slow-disk page delay", PageId((cfg.db_size - 1) as u32)),
+    ] {
+        if let Some(d) = program.expected_slots(pid) {
+            tp.push_row(vec![format!("expected {label}"), fmt_units(d)]);
+        }
+    }
+    println!("{}", tp.render());
+
+    // Analytic cross-checks.
+    let mut ta = Table::new("Analytic comparators", &["model", "value"]);
+    let mut push_cfg = cfg.clone();
+    push_cfg.algorithm = Algorithm::PurePush;
+    ta.push_row(vec![
+        "expected Pure-Push response (closed form)".into(),
+        fmt_units(analytic::push_response(&push_cfg)),
+    ]);
+    for ttr in [10.0, 50.0, 250.0] {
+        let mut c: SystemConfig = cfg.clone();
+        c.algorithm = Algorithm::PurePull;
+        c.think_time_ratio = ttr;
+        let a = analytic::pull_mm1k(&c);
+        ta.push_row(vec![
+            format!("M/M/1/K pull @ TTR={ttr} (rho / block / response)"),
+            format!("{:.2} / {:.1}% / {}", a.rho, a.block_prob * 100.0, fmt_units(a.response)),
+        ]);
+    }
+    println!("{}", ta.render());
+}

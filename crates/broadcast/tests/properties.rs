@@ -1,0 +1,114 @@
+//! Property-based tests for broadcast program construction.
+
+use bpp_broadcast::{
+    assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random multi-disk spec with non-increasing frequencies.
+fn spec_strategy() -> impl Strategy<Value = DiskSpec> {
+    (1usize..5)
+        .prop_flat_map(|ndisks| {
+            (
+                prop::collection::vec(1usize..60, ndisks),
+                prop::collection::vec(1u32..7, ndisks),
+            )
+        })
+        .prop_map(|(sizes, mut freqs)| {
+            freqs.sort_unstable_by(|a, b| b.cmp(a));
+            DiskSpec::new(sizes, freqs)
+        })
+}
+
+proptest! {
+    #[test]
+    fn every_page_appears_exactly_rel_freq_per_rel_times(spec in spec_strategy()) {
+        let n = spec.total_pages();
+        let a = Assignment::from_ranking(&identity_ranking(n), &spec);
+        let p = BroadcastProgram::generate(&a, n);
+        // Count appearances per page and compare with the spec frequency.
+        let mut counts = vec![0usize; n];
+        for s in p.slots() {
+            if let Slot::Page(pg) = s {
+                counts[pg.index()] += 1;
+            }
+        }
+        let mut cursor = 0usize;
+        for (d, &size) in spec.sizes.iter().enumerate() {
+            for (i, &count) in counts.iter().enumerate().skip(cursor).take(size) {
+                prop_assert_eq!(count, spec.rel_freqs[d] as usize,
+                    "page {} on disk {}", i, d);
+            }
+            cursor += size;
+        }
+    }
+
+    #[test]
+    fn major_cycle_is_minor_times_chunks(spec in spec_strategy()) {
+        let n = spec.total_pages();
+        let a = Assignment::from_ranking(&identity_ranking(n), &spec);
+        let p = BroadcastProgram::generate(&a, n);
+        prop_assert_eq!(p.major_cycle(), p.minor_cycle() * p.num_minor_cycles());
+        // Padding is bounded by one chunk per disk per minor cycle.
+        prop_assert!(p.empty_slots() < p.major_cycle().max(1));
+    }
+
+    #[test]
+    fn slots_until_finds_a_real_occurrence(spec in spec_strategy(), cursor in 0usize..10_000) {
+        let n = spec.total_pages();
+        let a = Assignment::from_ranking(&identity_ranking(n), &spec);
+        let p = BroadcastProgram::generate(&a, n);
+        let m = p.major_cycle();
+        for i in (0..n).step_by(7.max(n / 13)) {
+            let pid = PageId(i as u32);
+            let d = p.slots_until(pid, cursor).expect("page is broadcast");
+            prop_assert!(d >= 1 && d <= m);
+            prop_assert_eq!(p.slot((cursor + d - 1) % m), Slot::Page(pid));
+            // No earlier occurrence.
+            for k in 0..d - 1 {
+                prop_assert_ne!(p.slot((cursor + k) % m), Slot::Page(pid));
+            }
+        }
+    }
+
+    #[test]
+    fn chopping_never_loses_pages(spec in spec_strategy(), chop_frac in 0.0f64..1.2) {
+        let n = spec.total_pages();
+        let mut a = Assignment::from_ranking(&identity_ranking(n), &spec);
+        let chop = ((n as f64) * chop_frac) as usize;
+        let removed = a.chop(chop);
+        prop_assert_eq!(removed.len(), chop.min(n));
+        prop_assert_eq!(a.broadcast_pages() + removed.len(), n);
+        // Broadcast + non-broadcast partitions the database.
+        let p = BroadcastProgram::generate(&a, n);
+        for pid in removed {
+            prop_assert!(!p.contains(pid));
+        }
+        prop_assert_eq!(p.distinct_pages(), n - chop.min(n));
+    }
+
+    #[test]
+    fn expected_slots_within_cycle_bounds(spec in spec_strategy()) {
+        let n = spec.total_pages();
+        let a = Assignment::from_ranking(&identity_ranking(n), &spec);
+        let p = BroadcastProgram::generate(&a, n);
+        for i in 0..n {
+            let e = p.expected_slots(PageId(i as u32)).unwrap();
+            prop_assert!(e >= 0.5 && e <= p.major_cycle() as f64);
+        }
+    }
+
+    #[test]
+    fn offset_preserves_page_set(cache in 0usize..100) {
+        let spec = DiskSpec::paper_default();
+        let a = Assignment::with_offset(&identity_ranking(1000), &spec, cache);
+        let mut seen = vec![false; 1000];
+        for d in a.disks() {
+            for p in d {
+                prop_assert!(!seen[p.index()]);
+                seen[p.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests: invariants every replacement policy must uphold.
+
+use bpp_cache::{LfuCache, LruCache, ReplacementPolicy, StaticScoreCache};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run a random access trace against a policy and check the universal
+/// invariants: capacity bound, contains/lookup agreement, eviction accuracy.
+fn exercise<P: ReplacementPolicy>(mut cache: P, universe: usize, ops: usize, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut shadow = std::collections::HashSet::new();
+    for _ in 0..ops {
+        // Occasionally invalidate (server-side update), otherwise access.
+        if rng.random_range(0..10) == 0 {
+            let item = rng.random_range(0..universe);
+            let removed = cache.remove(item);
+            assert_eq!(removed, shadow.remove(&item), "remove/shadow disagree");
+        } else {
+            let item = rng.random_range(0..universe);
+            let hit = cache.lookup(item);
+            assert_eq!(hit, shadow.contains(&item), "lookup/shadow disagree");
+            if !hit {
+                if let Some(victim) = cache.insert(item) {
+                    assert!(shadow.remove(&victim), "evicted non-member {victim}");
+                    assert!(!cache.contains(victim));
+                }
+                if cache.contains(item) {
+                    shadow.insert(item);
+                }
+            }
+        }
+        assert!(cache.len() <= cache.capacity(), "over capacity");
+        assert_eq!(cache.len(), shadow.len(), "len/shadow disagree");
+    }
+    let s = cache.stats();
+    assert!(s.hits + s.misses <= ops as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_invariants(cap in 0usize..20, universe in 1usize..50, seed in any::<u64>()) {
+        exercise(LruCache::new(cap), universe, 500, seed);
+    }
+
+    #[test]
+    fn lfu_invariants(cap in 0usize..20, universe in 1usize..50, seed in any::<u64>()) {
+        exercise(LfuCache::new(cap), universe, 500, seed);
+    }
+
+    #[test]
+    fn static_score_invariants(cap in 0usize..20, universe in 1usize..50, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let scores: Vec<f64> = (0..universe).map(|_| rng.random::<f64>()).collect();
+        exercise(StaticScoreCache::new(cap, scores), universe, 500, seed);
+    }
+
+    #[test]
+    fn static_score_converges_to_ideal(cap in 1usize..20, universe in 20usize..60, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let scores: Vec<f64> = (0..universe).map(|_| rng.random::<f64>()).collect();
+        let mut c = StaticScoreCache::new(cap, scores);
+        // Insert every item once: cache must end up holding the ideal set.
+        for i in 0..universe {
+            c.insert(i);
+        }
+        let mut content: Vec<usize> = (0..universe).filter(|&i| c.contains(i)).collect();
+        let mut ideal = c.ideal_content();
+        content.sort_unstable();
+        ideal.sort_unstable();
+        prop_assert_eq!(content, ideal);
+    }
+
+    #[test]
+    fn pix_scores_scale_inversely_with_frequency(p in 0.0001f64..1.0, x in 1usize..20) {
+        let c = StaticScoreCache::pix(1, &[p, p], &[x, x * 2]);
+        prop_assert!(c.score(0) > c.score(1));
+    }
+}

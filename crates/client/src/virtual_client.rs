@@ -1,0 +1,181 @@
+//! The Virtual Client — the open-loop aggregate of "all other clients".
+//!
+//! A single simulated process stands in for an arbitrarily large population:
+//! accesses arrive with exponential inter-arrival times of mean
+//! `MC_ThinkTime / ThinkTimeRatio`, so a higher `ThinkTimeRatio` models a
+//! proportionally larger (or busier) population.
+//!
+//! Per access, a coin weighted by `SteadyStatePerc` decides which kind of
+//! client issued it:
+//!
+//! * **steady-state** — its cache is fully warmed with the highest-valued
+//!   pages, so the access is filtered through a *static* ideal cache;
+//! * **warm-up** — "a client's cache is relatively empty, therefore we
+//!   assume that every access will be a miss".
+//!
+//! The VC deliberately does not block on responses: it models an arrival
+//! process, not an individual, and its request rate must not be damped by
+//! any single page's latency (the paper's saturation numbers — e.g. 68.8%
+//! of requests dropped — only arise in an open-loop overload regime).
+
+use bpp_broadcast::PageId;
+use bpp_workload::{AccessPattern, ThinkTime};
+use rand::Rng;
+
+/// Outcome of one Virtual-Client access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcAccess {
+    /// Absorbed by the (static) steady-state cache.
+    CacheHit,
+    /// A miss that reaches the threshold filter / backchannel.
+    Miss(PageId),
+}
+
+/// The open-loop population model.
+#[derive(Debug, Clone)]
+pub struct VirtualClient {
+    pattern: AccessPattern,
+    steady_cached: Vec<bool>,
+    steady_state_perc: f64,
+    think: ThinkTime,
+    accesses: u64,
+    steady_hits: u64,
+}
+
+impl VirtualClient {
+    /// Build the VC.
+    ///
+    /// * `pattern` — the population access pattern (identity Zipf: the
+    ///   broadcast program is generated from it);
+    /// * `steady_items` — the ideal cache content of a warmed-up client
+    ///   (top `CacheSize` by PIX under push/IPP, by P under Pure-Pull);
+    /// * `steady_state_perc` — fraction of the population in steady state;
+    /// * `mean_interarrival` — `MC_ThinkTime / ThinkTimeRatio`.
+    pub fn new(
+        pattern: AccessPattern,
+        steady_items: &[usize],
+        steady_state_perc: f64,
+        mean_interarrival: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&steady_state_perc),
+            "SteadyStatePerc must be in [0,1]"
+        );
+        assert!(mean_interarrival > 0.0, "inter-arrival mean must be positive");
+        let mut steady_cached = vec![false; pattern.len()];
+        for &i in steady_items {
+            steady_cached[i] = true;
+        }
+        VirtualClient {
+            pattern,
+            steady_cached,
+            steady_state_perc,
+            think: ThinkTime::Exponential {
+                mean: mean_interarrival,
+            },
+            accesses: 0,
+            steady_hits: 0,
+        }
+    }
+
+    /// Draw the time until the next VC access.
+    pub fn next_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.think.sample(rng)
+    }
+
+    /// Generate one access.
+    pub fn access<R: Rng + ?Sized>(&mut self, rng: &mut R) -> VcAccess {
+        self.accesses += 1;
+        let item = self.pattern.sample(rng);
+        let steady = self.steady_state_perc > 0.0
+            && (self.steady_state_perc >= 1.0 || rng.random::<f64>() < self.steady_state_perc);
+        if steady && self.steady_cached[item] {
+            self.steady_hits += 1;
+            VcAccess::CacheHit
+        } else {
+            VcAccess::Miss(PageId(item as u32))
+        }
+    }
+
+    /// Total accesses generated.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses absorbed by the steady-state cache.
+    pub fn steady_hits(&self) -> u64 {
+        self.steady_hits
+    }
+
+    /// The population pattern.
+    pub fn pattern(&self) -> &AccessPattern {
+        &self.pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpp_workload::Zipf;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn vc(ssp: f64, cached: &[usize]) -> VirtualClient {
+        let z = Zipf::new(100, 0.95);
+        VirtualClient::new(AccessPattern::population(&z), cached, ssp, 0.5)
+    }
+
+    #[test]
+    fn warmup_population_never_hits() {
+        let mut v = vc(0.0, &(0..50).collect::<Vec<_>>());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(matches!(v.access(&mut rng), VcAccess::Miss(_)));
+        }
+        assert_eq!(v.steady_hits(), 0);
+    }
+
+    #[test]
+    fn fully_steady_population_hits_cached_pages() {
+        let cached: Vec<usize> = (0..100).collect();
+        let mut v = vc(1.0, &cached);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(v.access(&mut rng), VcAccess::CacheHit);
+        }
+    }
+
+    #[test]
+    fn steady_fraction_controls_hit_share() {
+        // Cache the whole database: hit rate == steady-state fraction.
+        let cached: Vec<usize> = (0..100).collect();
+        let mut v = vc(0.95, &cached);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        for _ in 0..n {
+            v.access(&mut rng);
+        }
+        let rate = v.steady_hits() as f64 / f64::from(n);
+        assert!((rate - 0.95).abs() < 0.01, "hit rate {rate}");
+    }
+
+    #[test]
+    fn misses_name_uncached_or_warmup_pages() {
+        let mut v = vc(1.0, &[0, 1, 2]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            if let VcAccess::Miss(p) = v.access(&mut rng) {
+                assert!(p.index() >= 3, "steady VC missed a cached page");
+            }
+        }
+    }
+
+    #[test]
+    fn interarrival_mean_is_configured() {
+        let v = vc(0.5, &[]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| v.next_interarrival(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,358 @@
+//! System configuration — Tables 1, 2 and 3 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The three data-delivery algorithms compared in the paper (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Broadcast Disk only; `PullBW = 0`, no backchannel.
+    PurePush,
+    /// Request/response with snooping; `PullBW = 100%`, no periodic
+    /// broadcast.
+    PurePull,
+    /// Interleaved Push and Pull: periodic broadcast plus pull responses,
+    /// split by `pull_bw`, with the client threshold filter.
+    Ipp,
+}
+
+impl Algorithm {
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::PurePush => "Push",
+            Algorithm::PurePull => "Pull",
+            Algorithm::Ipp => "IPP",
+        }
+    }
+}
+
+/// Client cache replacement policy.
+///
+/// The paper uses PIX whenever pages are retrieved from a Broadcast Disk
+/// and P under Pure-Pull; LRU/LFU are kept as ablation baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CachePolicy {
+    /// Probability over broadcast frequency (`p/x`).
+    Pix,
+    /// Plain access probability.
+    P,
+    /// Least recently used (strawman).
+    Lru,
+    /// Least frequently used (strawman).
+    Lfu,
+}
+
+/// Server queue service order (see `bpp_server::Discipline`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// First in, first out — the paper's discipline.
+    #[default]
+    Fifo,
+    /// Serve the page with the most coalesced waiters first (extension).
+    MostRequested,
+}
+
+/// Full parameterisation of one simulated system.
+///
+/// Defaults ([`SystemConfig::paper_default`]) reproduce Table 3. All
+/// percentages are fractions in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Distinct pages at the server (`ServerDBSize`).
+    pub db_size: usize,
+    /// Client cache size in pages (`CacheSize`).
+    pub cache_size: usize,
+    /// Measured Client think time in broadcast units (`ThinkTime`).
+    pub mc_think_time: f64,
+    /// Virtual-Client intensity relative to the MC (`ThinkTimeRatio`):
+    /// the VC generates requests this many times more frequently.
+    pub think_time_ratio: f64,
+    /// Fraction of the VC population in steady state (`SteadyStatePerc`).
+    pub steady_state_perc: f64,
+    /// MC access-pattern perturbation (`Noise`).
+    pub noise: f64,
+    /// Zipf skew θ.
+    pub zipf_theta: f64,
+    /// Pages per disk, fastest first (`DiskSize_i`).
+    pub disk_sizes: Vec<usize>,
+    /// Relative disk frequencies, fastest first (`RelFreq_i`).
+    pub rel_freqs: Vec<u32>,
+    /// Apply the Offset transform (all paper results do).
+    pub offset: bool,
+    /// Backchannel queue capacity in distinct pages (`ServerQSize`).
+    pub server_queue_size: usize,
+    /// Upper bound on the broadcast slots serving pulls (`PullBW`),
+    /// meaningful for [`Algorithm::Ipp`] only (Push forces 0, Pull 1).
+    pub pull_bw: f64,
+    /// Client threshold as a fraction of the major cycle (`ThresPerc`).
+    pub thres_perc: f64,
+    /// Pages truncated from the push schedule, slowest disk first
+    /// (Experiment 3). 0 = broadcast the whole database.
+    pub chop: usize,
+    /// Which delivery algorithm to run.
+    pub algorithm: Algorithm,
+    /// MC cache policy; `None` picks the paper's choice for the algorithm
+    /// (PIX for Push/IPP, P for Pure-Pull).
+    pub mc_cache_policy: Option<CachePolicy>,
+    /// Server queue service discipline (the paper uses FIFO;
+    /// most-requested-first is an extension ablation).
+    pub queue_discipline: QueueDiscipline,
+    /// Opportunistic client prefetching (\[Acha96a\], extension): offer every
+    /// page heard on the frontchannel to the MC cache, letting the
+    /// value-based admission test decide. The paper's demand-driven
+    /// baseline is `false`.
+    pub mc_prefetch: bool,
+    /// Server update rate in updates per broadcast unit (\[Acha96b\],
+    /// extension; this paper assumes read-only data, i.e. 0.0). Updates
+    /// pick pages from the same skewed popularity distribution and
+    /// invalidate client-cached copies.
+    pub update_rate: f64,
+    /// Correlation between the update pattern and the access pattern
+    /// (\[Acha96b\]): 1.0 means updates hit pages with their access
+    /// probability (hot data churns), 0.0 means updates are uniform.
+    pub update_access_correlation: f64,
+    /// Root seed for every random stream in the run.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// Table 3 defaults: 1000 pages, 3 disks (100/400/500 at 3:2:1),
+    /// cache 100, think time 20, queue 100, offset on, θ = 0.95,
+    /// `SteadyStatePerc` 95%, IPP at `PullBW` 50% with no threshold.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            db_size: 1000,
+            cache_size: 100,
+            mc_think_time: 20.0,
+            think_time_ratio: 10.0,
+            steady_state_perc: 0.95,
+            noise: 0.0,
+            zipf_theta: 0.95,
+            disk_sizes: vec![100, 400, 500],
+            rel_freqs: vec![3, 2, 1],
+            offset: true,
+            server_queue_size: 100,
+            pull_bw: 0.5,
+            thres_perc: 0.0,
+            chop: 0,
+            algorithm: Algorithm::Ipp,
+            mc_cache_policy: None,
+            queue_discipline: QueueDiscipline::Fifo,
+            mc_prefetch: false,
+            update_rate: 0.0,
+            update_access_correlation: 1.0,
+            seed: 0x5EED_B0DC,
+        }
+    }
+
+    /// Table 3 with the Zipf skew *calibrated to the paper's absolute
+    /// numbers* (θ = 0.72 instead of the quoted 0.95).
+    ///
+    /// The paper states θ = 0.95, but three independent checkpoints of its
+    /// text — the Pure-Push flat line at 278 broadcast units, 39.9% of
+    /// requests dropped under Pure-Pull at ThinkTimeRatio 50, and 68.8%
+    /// under IPP at the same load — are only mutually consistent with a
+    /// per-page popularity skew whose 100 hottest pages carry ≈ 47% of the
+    /// access mass. The standard `p(i) ∝ 1/i^0.95` convention gives 65%.
+    /// θ = 0.72 under the standard convention reproduces all three
+    /// checkpoints to within a few percent (see EXPERIMENTS.md); the
+    /// difference is presumably a coarser-grained Zipf in the original
+    /// (unpublished) workload generator of \[Acha95a\].
+    pub fn paper_calibrated() -> Self {
+        SystemConfig {
+            zipf_theta: 0.72,
+            ..Self::paper_default()
+        }
+    }
+
+    /// A scaled-down configuration for unit/integration tests: 100 pages,
+    /// 3 disks (10/40/50), cache 10, queue 10.
+    pub fn small() -> Self {
+        SystemConfig {
+            db_size: 100,
+            cache_size: 10,
+            disk_sizes: vec![10, 40, 50],
+            server_queue_size: 10,
+            ..Self::paper_default()
+        }
+    }
+
+    /// The effective pull bandwidth after the algorithm override.
+    pub fn effective_pull_bw(&self) -> f64 {
+        match self.algorithm {
+            Algorithm::PurePush => 0.0,
+            Algorithm::PurePull => 1.0,
+            Algorithm::Ipp => self.pull_bw,
+        }
+    }
+
+    /// The effective MC cache policy.
+    pub fn effective_cache_policy(&self) -> CachePolicy {
+        self.mc_cache_policy.unwrap_or(match self.algorithm {
+            Algorithm::PurePull => CachePolicy::P,
+            _ => CachePolicy::Pix,
+        })
+    }
+
+    /// Mean inter-arrival time of Virtual-Client accesses.
+    pub fn vc_mean_interarrival(&self) -> f64 {
+        self.mc_think_time / self.think_time_ratio
+    }
+
+    /// Validate ranges and cross-field constraints, panicking with a clear
+    /// message on violation. Called by the runner before building a world.
+    pub fn validate(&self) {
+        assert!(self.db_size > 0, "db_size must be positive");
+        assert!(
+            self.disk_sizes.iter().sum::<usize>() == self.db_size,
+            "disk sizes {:?} must sum to db_size {}",
+            self.disk_sizes,
+            self.db_size
+        );
+        assert_eq!(
+            self.disk_sizes.len(),
+            self.rel_freqs.len(),
+            "one frequency per disk"
+        );
+        assert!(self.cache_size <= self.db_size, "cache larger than database");
+        assert!(self.mc_think_time > 0.0, "think time must be positive");
+        assert!(self.think_time_ratio > 0.0, "ThinkTimeRatio must be positive");
+        assert!(
+            self.update_rate >= 0.0 && self.update_rate.is_finite(),
+            "update_rate must be finite and >= 0"
+        );
+        for (name, v) in [
+            ("steady_state_perc", self.steady_state_perc),
+            ("noise", self.noise),
+            ("pull_bw", self.pull_bw),
+            ("thres_perc", self.thres_perc),
+            ("update_access_correlation", self.update_access_correlation),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+        }
+        assert!(self.chop <= self.db_size, "cannot chop more than the database");
+        if self.offset && self.algorithm != Algorithm::PurePull {
+            let slowest = *self.disk_sizes.last().expect("validated non-empty");
+            assert!(
+                self.cache_size <= slowest,
+                "offset requires cache_size <= slowest disk size"
+            );
+        }
+    }
+}
+
+/// Measurement protocol for steady-state runs (§4: cache warm-up is
+/// excluded, 4000 accesses are skipped, then the run continues "until the
+/// response time stabilized").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementProtocol {
+    /// MC accesses discarded after the cache first fills.
+    pub skip_accesses: u64,
+    /// Observations per batch for the batch-means estimator.
+    pub batch_size: u64,
+    /// Relative 95%-CI half-width at which the run stops.
+    pub rel_precision: f64,
+    /// Minimum completed batches before convergence is considered.
+    pub min_batches: usize,
+    /// Hard cap on measured MC accesses (guards pathological configs).
+    pub max_accesses: u64,
+    /// Cap on MC accesses spent waiting for the cache to fill before
+    /// measurement proceeds anyway (under heavy update churn the cache may
+    /// never reach capacity).
+    pub max_warmup_accesses: u64,
+    /// Hard cap on simulated time, in broadcast units.
+    pub max_sim_time: f64,
+}
+
+impl MeasurementProtocol {
+    /// The paper-faithful protocol (slow but precise).
+    pub fn paper() -> Self {
+        MeasurementProtocol {
+            skip_accesses: 4000,
+            batch_size: 500,
+            rel_precision: 0.015,
+            min_batches: 12,
+            max_accesses: 200_000,
+            max_warmup_accesses: 50_000,
+            max_sim_time: 5.0e8,
+        }
+    }
+
+    /// A fast protocol for tests, doctests and smoke runs.
+    pub fn quick() -> Self {
+        MeasurementProtocol {
+            skip_accesses: 200,
+            batch_size: 100,
+            rel_precision: 0.10,
+            min_batches: 4,
+            max_accesses: 4_000,
+            max_warmup_accesses: 2_000,
+            max_sim_time: 5.0e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        SystemConfig::paper_default().validate();
+        SystemConfig::small().validate();
+    }
+
+    #[test]
+    fn effective_pull_bw_per_algorithm() {
+        let mut c = SystemConfig::paper_default();
+        c.pull_bw = 0.3;
+        c.algorithm = Algorithm::PurePush;
+        assert_eq!(c.effective_pull_bw(), 0.0);
+        c.algorithm = Algorithm::PurePull;
+        assert_eq!(c.effective_pull_bw(), 1.0);
+        c.algorithm = Algorithm::Ipp;
+        assert_eq!(c.effective_pull_bw(), 0.3);
+    }
+
+    #[test]
+    fn default_cache_policy_follows_algorithm() {
+        let mut c = SystemConfig::paper_default();
+        c.algorithm = Algorithm::PurePull;
+        assert_eq!(c.effective_cache_policy(), CachePolicy::P);
+        c.algorithm = Algorithm::Ipp;
+        assert_eq!(c.effective_cache_policy(), CachePolicy::Pix);
+        c.mc_cache_policy = Some(CachePolicy::Lru);
+        assert_eq!(c.effective_cache_policy(), CachePolicy::Lru);
+    }
+
+    #[test]
+    fn vc_interarrival_formula() {
+        let mut c = SystemConfig::paper_default();
+        c.think_time_ratio = 250.0;
+        assert!((c.vc_mean_interarrival() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to db_size")]
+    fn mismatched_disks_fail_validation() {
+        let mut c = SystemConfig::paper_default();
+        c.disk_sizes = vec![100, 400, 400];
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cache larger than database")]
+    fn oversized_cache_fails_validation() {
+        let mut c = SystemConfig::small();
+        c.cache_size = 1000;
+        c.validate();
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let c = SystemConfig::paper_default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: SystemConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,522 @@
+//! Parameter grids regenerating every figure of the paper's evaluation.
+//!
+//! Each `figN*` function returns a [`Figure`]: labelled series of (x, y)
+//! points matching the corresponding plot in the paper. The `bpp-bench`
+//! binaries render these as tables/CSV. All functions take a *base*
+//! configuration (usually [`SystemConfig::paper_default`]) so tests can run
+//! the same grids on a scaled-down system.
+//!
+//! Runs within a figure are independent and execute on a thread pool
+//! ([`par_run`]); every run derives its seed deterministically from the
+//! base seed, so figures are reproducible end to end.
+
+use crate::config::{Algorithm, MeasurementProtocol, SystemConfig};
+use crate::runner::{run_steady_state, run_warmup, SteadyStateResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The ThinkTimeRatio sweep of Figures 3, 5 and 8.
+pub const TTR_GRID: [f64; 5] = [10.0, 25.0, 50.0, 100.0, 250.0];
+
+/// The finer sweep of Figure 6.
+pub const TTR_GRID_FINE: [f64; 7] = [10.0, 25.0, 35.0, 50.0, 75.0, 100.0, 250.0];
+
+/// The truncation sweep of Figure 7 (pages removed from the push schedule).
+pub const CHOP_GRID: [usize; 8] = [0, 100, 200, 300, 400, 500, 600, 700];
+
+/// One labelled curve.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (matches the paper's curve names).
+    pub label: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+    /// Companion per-point results (same order), for drop rates etc.
+    pub results: Vec<SteadyStateResult>,
+}
+
+/// One reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier, e.g. "3a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+/// Run `configs` on `available_parallelism` worker threads, preserving
+/// order. Deterministic: each config carries its own seed.
+pub fn par_run(
+    configs: &[SystemConfig],
+    proto: &MeasurementProtocol,
+) -> Vec<SteadyStateResult> {
+    let n = configs.len();
+    let results: Mutex<Vec<Option<SteadyStateResult>>> = Mutex::new(vec![None; n]);
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run_steady_state(&configs[i], proto);
+                results.lock().expect("no panics hold the lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every index was filled"))
+        .collect()
+}
+
+/// Derive a per-run seed so that every point of every figure is an
+/// independent but reproducible sample.
+fn derive_seed(base: u64, tag: u64) -> u64 {
+    base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn sweep_ttr(
+    base: &SystemConfig,
+    proto: &MeasurementProtocol,
+    grid: &[f64],
+    label: &str,
+    tag: u64,
+    tweak: impl Fn(&mut SystemConfig),
+) -> Series {
+    let configs: Vec<SystemConfig> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, &ttr)| {
+            let mut c = base.clone();
+            c.think_time_ratio = ttr;
+            c.seed = derive_seed(base.seed, tag * 1000 + i as u64);
+            tweak(&mut c);
+            c
+        })
+        .collect();
+    let results = par_run(&configs, proto);
+    Series {
+        label: label.to_string(),
+        points: grid
+            .iter()
+            .zip(&results)
+            .map(|(&x, r)| (x, r.mean_response))
+            .collect(),
+        results,
+    }
+}
+
+/// Pure-Push is independent of the client population; run it once and
+/// replicate the value across the grid (exactly how the paper plots its
+/// flat line).
+fn push_flat_series(
+    base: &SystemConfig,
+    proto: &MeasurementProtocol,
+    grid: &[f64],
+    label: &str,
+    tag: u64,
+    tweak: impl Fn(&mut SystemConfig),
+) -> Series {
+    let mut c = base.clone();
+    c.algorithm = Algorithm::PurePush;
+    c.seed = derive_seed(base.seed, tag);
+    tweak(&mut c);
+    let r = run_steady_state(&c, proto);
+    Series {
+        label: label.to_string(),
+        points: grid.iter().map(|&x| (x, r.mean_response)).collect(),
+        results: vec![r; grid.len()],
+    }
+}
+
+/// Figure 3(a): steady-state response time vs. ThinkTimeRatio for
+/// Pure-Push, Pure-Pull and IPP (PullBW 50%), at SteadyStatePerc 0% / 95%.
+pub fn fig3a(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    let mut series = vec![push_flat_series(base, proto, &TTR_GRID, "Push", 30, |_| {})];
+    for (k, ssp) in [0.0, 0.95].into_iter().enumerate() {
+        series.push(sweep_ttr(
+            base,
+            proto,
+            &TTR_GRID,
+            &format!("Pull {:.0}%", ssp * 100.0),
+            31 + k as u64,
+            move |c| {
+                c.algorithm = Algorithm::PurePull;
+                c.steady_state_perc = ssp;
+            },
+        ));
+    }
+    for (k, ssp) in [0.0, 0.95].into_iter().enumerate() {
+        series.push(sweep_ttr(
+            base,
+            proto,
+            &TTR_GRID,
+            &format!("IPP {:.0}%", ssp * 100.0),
+            33 + k as u64,
+            move |c| {
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = 0.5;
+                c.thres_perc = 0.0;
+                c.steady_state_perc = ssp;
+            },
+        ));
+    }
+    Figure {
+        id: "3a".into(),
+        title: "Steady state client performance, IPP PullBW=50%, SteadyStatePerc varied".into(),
+        x_label: "Think Time Ratio".into(),
+        y_label: "Response Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
+/// Figure 3(b): IPP PullBW ∈ {10, 30, 50}%, SteadyStatePerc 95%.
+pub fn fig3b(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    let mut series = vec![push_flat_series(base, proto, &TTR_GRID, "Push", 40, |_| {})];
+    series.push(sweep_ttr(base, proto, &TTR_GRID, "Pull", 41, |c| {
+        c.algorithm = Algorithm::PurePull;
+        c.steady_state_perc = 0.95;
+    }));
+    for (k, bw) in [0.5, 0.3, 0.1].into_iter().enumerate() {
+        series.push(sweep_ttr(
+            base,
+            proto,
+            &TTR_GRID,
+            &format!("IPP PullBW {:.0}%", bw * 100.0),
+            42 + k as u64,
+            move |c| {
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = bw;
+                c.thres_perc = 0.0;
+                c.steady_state_perc = 0.95;
+            },
+        ));
+    }
+    Figure {
+        id: "3b".into(),
+        title: "Steady state client performance, IPP PullBW varied, SteadyStatePerc=95%".into(),
+        x_label: "Think Time Ratio".into(),
+        y_label: "Response Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
+/// Figures 4(a)/4(b): cache warm-up time vs. fraction of the ideal cache
+/// acquired, at the given ThinkTimeRatio (25 = light, 250 = heavy),
+/// IPP PullBW 50%.
+pub fn fig4(base: &SystemConfig, proto: &MeasurementProtocol, ttr: f64) -> Figure {
+    let mut series = Vec::new();
+    let mut mk = |label: String, tag: u64, tweak: &dyn Fn(&mut SystemConfig)| {
+        let mut c = base.clone();
+        c.think_time_ratio = ttr;
+        c.seed = derive_seed(base.seed, 50 + tag);
+        tweak(&mut c);
+        let r = run_warmup(&c, proto);
+        series.push(Series {
+            label,
+            points: r
+                .fractions
+                .iter()
+                .zip(&r.times)
+                .map(|(&f, t)| (f * 100.0, t.unwrap_or(f64::INFINITY)))
+                .collect(),
+            results: Vec::new(),
+        });
+    };
+    mk("Push".into(), 0, &|c: &mut SystemConfig| {
+        c.algorithm = Algorithm::PurePush;
+    });
+    for (k, ssp) in [0.0, 0.95].into_iter().enumerate() {
+        mk(
+            format!("Pull {:.0}%", ssp * 100.0),
+            1 + k as u64,
+            &move |c: &mut SystemConfig| {
+                c.algorithm = Algorithm::PurePull;
+                c.steady_state_perc = ssp;
+            },
+        );
+    }
+    for (k, ssp) in [0.0, 0.95].into_iter().enumerate() {
+        mk(
+            format!("IPP {:.0}%", ssp * 100.0),
+            3 + k as u64,
+            &move |c: &mut SystemConfig| {
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = 0.5;
+                c.thres_perc = 0.0;
+                c.steady_state_perc = ssp;
+            },
+        );
+    }
+    Figure {
+        id: if ttr <= 100.0 { "4a" } else { "4b" }.into(),
+        title: format!("Client cache warm-up time, ThinkTimeRatio={ttr}, IPP PullBW=50%"),
+        x_label: "Cache Warm Up %".into(),
+        y_label: "Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
+/// Figure 5(a): Noise sensitivity of Pure-Pull vs. Pure-Push.
+pub fn fig5a(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    noise_figure(base, proto, Algorithm::PurePull, "5a", "Pull")
+}
+
+/// Figure 5(b): Noise sensitivity of IPP (PullBW 50%) vs. Pure-Push.
+pub fn fig5b(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    noise_figure(base, proto, Algorithm::Ipp, "5b", "IPP")
+}
+
+fn noise_figure(
+    base: &SystemConfig,
+    proto: &MeasurementProtocol,
+    algo: Algorithm,
+    id: &str,
+    name: &str,
+) -> Figure {
+    let mut series = Vec::new();
+    for (k, noise) in [0.0, 0.15, 0.35].into_iter().enumerate() {
+        series.push(push_flat_series(
+            base,
+            proto,
+            &TTR_GRID,
+            &format!("Push Noise {:.0}%", noise * 100.0),
+            60 + k as u64,
+            move |c| c.noise = noise,
+        ));
+    }
+    for (k, noise) in [0.0, 0.15, 0.35].into_iter().enumerate() {
+        series.push(sweep_ttr(
+            base,
+            proto,
+            &TTR_GRID,
+            &format!("{name} Noise {:.0}%", noise * 100.0),
+            63 + k as u64,
+            move |c| {
+                c.algorithm = algo;
+                c.noise = noise;
+                c.pull_bw = 0.5;
+                c.thres_perc = 0.0;
+                c.steady_state_perc = 0.95;
+            },
+        ));
+    }
+    Figure {
+        id: id.into(),
+        title: format!("Noise sensitivity, {name} vs Push, IPP PullBW=50%"),
+        x_label: "Think Time Ratio".into(),
+        y_label: "Response Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
+/// Figures 6(a)/6(b): influence of the threshold on response time at the
+/// given PullBW (50% for 6a, 30% for 6b).
+pub fn fig6(base: &SystemConfig, proto: &MeasurementProtocol, pull_bw: f64) -> Figure {
+    let mut series = vec![push_flat_series(
+        base,
+        proto,
+        &TTR_GRID_FINE,
+        "Push",
+        70,
+        |_| {},
+    )];
+    series.push(sweep_ttr(base, proto, &TTR_GRID_FINE, "Pull", 71, |c| {
+        c.algorithm = Algorithm::PurePull;
+        c.steady_state_perc = 0.95;
+    }));
+    for (k, thres) in [0.35, 0.25, 0.10, 0.0].into_iter().enumerate() {
+        series.push(sweep_ttr(
+            base,
+            proto,
+            &TTR_GRID_FINE,
+            &format!("IPP ThresPerc {:.0}%", thres * 100.0),
+            72 + k as u64,
+            move |c| {
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = pull_bw;
+                c.thres_perc = thres;
+                c.steady_state_perc = 0.95;
+            },
+        ));
+    }
+    Figure {
+        id: if (pull_bw - 0.5).abs() < 1e-9 { "6a" } else { "6b" }.into(),
+        title: format!(
+            "Influence of threshold on response time, PullBW = {:.0}%",
+            pull_bw * 100.0
+        ),
+        x_label: "Think Time Ratio".into(),
+        y_label: "Response Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
+/// Figures 7(a)/7(b): restricting the push schedule at ThinkTimeRatio 25,
+/// with the given threshold (0% for 7a, 35% for 7b). X axis: pages removed
+/// from the broadcast.
+pub fn fig7(base: &SystemConfig, proto: &MeasurementProtocol, thres: f64) -> Figure {
+    let ttr = 25.0;
+    let chop_grid: Vec<usize> = CHOP_GRID
+        .iter()
+        .copied()
+        .filter(|&c| c <= base.db_size.saturating_sub(base.disk_sizes[0]))
+        .collect();
+    let xs: Vec<f64> = chop_grid.iter().map(|&c| c as f64).collect();
+    let mut series = vec![push_flat_series(base, proto, &xs, "Push", 80, |c| {
+        c.think_time_ratio = ttr;
+    })];
+    // Pure-Pull ignores the push schedule: one run, flat.
+    {
+        let mut c = base.clone();
+        c.algorithm = Algorithm::PurePull;
+        c.steady_state_perc = 0.95;
+        c.think_time_ratio = ttr;
+        c.seed = derive_seed(base.seed, 81);
+        let r = run_steady_state(&c, proto);
+        series.push(Series {
+            label: "Pull".into(),
+            points: xs.iter().map(|&x| (x, r.mean_response)).collect(),
+            results: vec![r; xs.len()],
+        });
+    }
+    for (k, bw) in [0.1, 0.3, 0.5].into_iter().enumerate() {
+        let configs: Vec<SystemConfig> = chop_grid
+            .iter()
+            .enumerate()
+            .map(|(i, &chop)| {
+                let mut c = base.clone();
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = bw;
+                c.thres_perc = thres;
+                c.steady_state_perc = 0.95;
+                c.think_time_ratio = ttr;
+                c.chop = chop;
+                c.seed = derive_seed(base.seed, (82 + k as u64) * 1000 + i as u64);
+                c
+            })
+            .collect();
+        let results = par_run(&configs, proto);
+        series.push(Series {
+            label: format!("IPP PullBW {:.0}%", bw * 100.0),
+            points: xs
+                .iter()
+                .zip(&results)
+                .map(|(&x, r)| (x, r.mean_response))
+                .collect(),
+            results,
+        });
+    }
+    Figure {
+        id: if thres == 0.0 { "7a" } else { "7b" }.into(),
+        title: format!(
+            "Restricting push contents, ThinkTimeRatio=25, ThresPerc={:.0}%",
+            thres * 100.0
+        ),
+        x_label: "Number of Non-Broadcast Pages".into(),
+        y_label: "Response Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
+/// Figure 8: server-load sensitivity of the restricted push schedule
+/// (IPP PullBW 30%, ThresPerc 35%, chop ∈ {0, 200, 300, 500, 700}).
+pub fn fig8(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    let mut series = vec![push_flat_series(base, proto, &TTR_GRID, "Push", 90, |_| {})];
+    series.push(sweep_ttr(base, proto, &TTR_GRID, "Pull", 91, |c| {
+        c.algorithm = Algorithm::PurePull;
+        c.steady_state_perc = 0.95;
+    }));
+    let max_chop = base.db_size.saturating_sub(base.disk_sizes[0]);
+    for (k, chop) in [0usize, 200, 300, 500, 700]
+        .into_iter()
+        .filter(|&c| c <= max_chop)
+        .enumerate()
+    {
+        let label = if chop == 0 {
+            "IPP Full DB".to_string()
+        } else {
+            format!("IPP -{chop}")
+        };
+        series.push(sweep_ttr(base, proto, &TTR_GRID, &label, 92 + k as u64, move |c| {
+            c.algorithm = Algorithm::Ipp;
+            c.pull_bw = 0.3;
+            c.thres_perc = 0.35;
+            c.steady_state_perc = 0.95;
+            c.chop = chop;
+        }));
+    }
+    Figure {
+        id: "8".into(),
+        title: "Server load sensitivity for restricted push, PullBW=30%, ThresPerc=35%".into(),
+        x_label: "Think Time Ratio".into(),
+        y_label: "Response Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_base() -> SystemConfig {
+        SystemConfig::small()
+    }
+
+    #[test]
+    fn par_run_preserves_order_and_determinism() {
+        let base = small_base();
+        let configs: Vec<SystemConfig> = (0..6)
+            .map(|i| {
+                let mut c = base.clone();
+                c.algorithm = Algorithm::Ipp;
+                c.seed = 100 + i;
+                c
+            })
+            .collect();
+        let proto = MeasurementProtocol::quick();
+        let a = par_run(&configs, &proto);
+        let b = par_run(&configs, &proto);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mean_response, y.mean_response);
+        }
+        // Sequential reference for index 3.
+        let seq = run_steady_state(&configs[3], &proto);
+        assert_eq!(a[3].mean_response, seq.mean_response);
+    }
+
+    #[test]
+    fn fig3a_smoke_on_small_system() {
+        let fig = fig3a(&small_base(), &MeasurementProtocol::quick());
+        assert_eq!(fig.series.len(), 5);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), TTR_GRID.len());
+            assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y >= 0.0));
+        }
+        // Push is flat by construction.
+        let push = &fig.series[0];
+        assert!(push.points.windows(2).all(|w| w[0].1 == w[1].1));
+    }
+
+    #[test]
+    fn fig7_chop_grid_respects_small_database() {
+        let fig = fig7(&small_base(), &MeasurementProtocol::quick(), 0.35);
+        // Small config: db 100, fastest disk 10 -> chop capped at 90.
+        let ipp = fig.series.iter().find(|s| s.label.contains("50%")).unwrap();
+        assert!(ipp.points.iter().all(|&(x, _)| x <= 90.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Plain-text tables and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A rectangular table with a title and column headers.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.columns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (title omitted; RFC-4180 quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// A terminal line chart: x values are treated as ordered categories (the
+/// paper's ThinkTimeRatio axis is log-spaced, so positional spacing reads
+/// better than linear), y is linear from zero. Each series is drawn with
+/// its own glyph; a legend follows the plot.
+pub fn ascii_chart(title: &str, series: &[(String, Vec<(f64, f64)>)], height: usize) -> String {
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'];
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let Some(first) = series.first() else {
+        out.push_str("(no series)\n");
+        return out;
+    };
+    let xs: Vec<f64> = first.1.iter().map(|&(x, _)| x).collect();
+    if xs.is_empty() {
+        out.push_str("(no points)\n");
+        return out;
+    }
+    let y_max = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(_, y)| y))
+        .filter(|y| y.is_finite())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let height = height.max(4);
+    let col_w = 6usize;
+    let width = xs.len() * col_w;
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (xi, &(_, y)) in pts.iter().enumerate() {
+            if !y.is_finite() {
+                continue;
+            }
+            let row = ((1.0 - y / y_max) * (height - 1) as f64).round() as usize;
+            let col = xi * col_w + col_w / 2;
+            let cell = &mut grid[row.min(height - 1)][col];
+            // Overlapping points show the later series' glyph.
+            *cell = glyph;
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let y_label = if r == 0 {
+            format!("{y_max:>8.0} |")
+        } else if r == height - 1 {
+            format!("{:>8.0} |", 0.0)
+        } else {
+            format!("{:>8} |", "")
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y_label}{}", line.trim_end());
+    }
+    let _ = write!(out, "{:>8} +", "");
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    let _ = write!(out, "{:>9}", "");
+    for &x in &xs {
+        let _ = write!(out, "{:>col_w$}", fmt_units(x), col_w = col_w);
+    }
+    out.push('\n');
+    for (si, (label, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:>10} {label}", GLYPHS[si % GLYPHS.len()]);
+    }
+    out
+}
+
+/// Format a response time the way the paper's text does (whole broadcast
+/// units for values ≥ 10, one decimal below).
+pub fn fmt_units(x: f64) -> String {
+    if !x.is_finite() {
+        "inf".to_string()
+    } else if x >= 10.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Format a rate as a percentage with one decimal.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["ttr", "response"]);
+        t.push_row(vec!["10".into(), "2".into()]);
+        t.push_row(vec!["250".into(), "702".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("ttr"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + rule + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+        // Right-aligned: the "10" row ends with spaces before digits.
+        assert!(lines[3].ends_with('2'));
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn ascii_chart_renders_axes_and_legend() {
+        let series = vec![
+            ("Push".to_string(), vec![(10.0, 278.0), (250.0, 278.0)]),
+            ("Pull".to_string(), vec![(10.0, 2.0), (250.0, 700.0)]),
+        ];
+        let s = ascii_chart("fig", &series, 10);
+        assert!(s.contains("== fig =="));
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("Push") && s.contains("Pull"));
+        assert!(s.contains("700 |")); // y max label
+        assert!(s.contains("0 |")); // y zero label
+        assert!(s.contains("250")); // x tick
+    }
+
+    #[test]
+    fn ascii_chart_empty_series_is_graceful() {
+        let s = ascii_chart("empty", &[], 10);
+        assert!(s.contains("no series"));
+        let s = ascii_chart("nopts", &[("a".into(), vec![])], 10);
+        assert!(s.contains("no points"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_infinite_points() {
+        let series = vec![("a".to_string(), vec![(1.0, f64::INFINITY), (2.0, 5.0)])];
+        let s = ascii_chart("inf", &series, 8);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_units(278.4), "278");
+        assert_eq!(fmt_units(2.04), "2.0");
+        assert_eq!(fmt_units(f64::INFINITY), "inf");
+        assert_eq!(fmt_pct(0.688), "68.8%");
+    }
+}

@@ -1,0 +1,178 @@
+//! Run protocols and result types.
+
+use crate::config::{MeasurementProtocol, SystemConfig};
+use crate::simulation::{Phase, SlotAccounting, World};
+use bpp_sim::Confidence;
+use serde::Serialize;
+
+/// Result of a steady-state run (the metric of Figures 3, 5, 6, 7, 8).
+#[derive(Debug, Clone, Serialize)]
+pub struct SteadyStateResult {
+    /// Mean MC response time in broadcast units (cache hits count as 0,
+    /// exactly as in the paper's "average response time of requests").
+    pub mean_response: f64,
+    /// 95% confidence half-width from batch means.
+    pub ci_half_width: f64,
+    /// MC accesses measured.
+    pub measured_accesses: u64,
+    /// True when the batch-means stopping rule fired (vs. hitting a cap).
+    pub converged: bool,
+    /// MC cache hit rate over the whole run.
+    pub mc_hit_rate: f64,
+    /// Server drop rate (full-queue discards / received) in the
+    /// measurement window.
+    pub drop_rate: f64,
+    /// Server ignore rate (drops + coalesced duplicates, the paper's wider
+    /// accounting) in the measurement window.
+    pub ignore_rate: f64,
+    /// Requests received by the server in the measurement window.
+    pub requests_received: u64,
+    /// Median measured response (`None` when it fell past the histogram).
+    pub p50_response: Option<f64>,
+    /// 90th percentile response.
+    pub p90_response: Option<f64>,
+    /// 99th percentile response.
+    pub p99_response: Option<f64>,
+    /// Worst measured response — under Pure-Push this is bounded by the
+    /// major cycle (the "safety net"); under Pure-Pull it is not.
+    pub max_response: f64,
+    /// Slot accounting over the whole run.
+    pub slots: SlotKinds,
+    /// Total simulated time in broadcast units.
+    pub sim_time: f64,
+}
+
+/// Serializable mirror of [`SlotAccounting`].
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SlotKinds {
+    /// Push slots carrying a page.
+    pub push_pages: u64,
+    /// Pull slots.
+    pub pull_pages: u64,
+    /// Padding slots.
+    pub empty: u64,
+    /// Idle slots.
+    pub idle: u64,
+}
+
+impl From<SlotAccounting> for SlotKinds {
+    fn from(s: SlotAccounting) -> Self {
+        SlotKinds {
+            push_pages: s.push_pages,
+            pull_pages: s.pull_pages,
+            empty: s.empty,
+            idle: s.idle,
+        }
+    }
+}
+
+/// Result of a warm-up (Figure 4) run.
+#[derive(Debug, Clone, Serialize)]
+pub struct WarmupResult {
+    /// Milestone fractions (10%, ..., 95% of the ideal cache content).
+    pub fractions: Vec<f64>,
+    /// First time each fraction was reached, in broadcast units.
+    /// `None` = not reached before the simulation-time cap.
+    pub times: Vec<Option<f64>>,
+    /// Total simulated time.
+    pub sim_time: f64,
+}
+
+/// Run the steady-state protocol: fill the MC cache, skip the configured
+/// number of accesses, measure until the response-time estimate stabilises
+/// (or a cap is hit).
+pub fn run_steady_state(cfg: &SystemConfig, protocol: &MeasurementProtocol) -> SteadyStateResult {
+    let mut engine = World::steady_state(cfg, protocol).into_engine();
+    engine.run_while(|w| !w.done());
+    let w = engine.model();
+    let q = w.measured_queue_stats();
+    let bm = w.responses();
+    let reached_measure = w.phase() == Phase::Measure;
+    SteadyStateResult {
+        mean_response: bm.mean(),
+        ci_half_width: if bm.completed_batches() >= 2 {
+            bm.half_width(Confidence::P95)
+        } else {
+            f64::INFINITY
+        },
+        measured_accesses: bm.count(),
+        converged: reached_measure
+            && bm.count() < protocol.max_accesses
+            && bm.converged(
+                Confidence::P95,
+                protocol.rel_precision,
+                protocol.min_batches,
+            ),
+        mc_hit_rate: w.mc().cache().stats().hit_rate(),
+        drop_rate: q.drop_rate(),
+        ignore_rate: q.ignore_rate(),
+        requests_received: q.received,
+        p50_response: w.response_dist().quantile(0.5),
+        p90_response: w.response_dist().quantile(0.9),
+        p99_response: w.response_dist().quantile(0.99),
+        max_response: if w.response_spread().count() > 0 {
+            w.response_spread().max()
+        } else {
+            0.0
+        },
+        slots: (*w.slots()).into(),
+        sim_time: engine.now(),
+    }
+}
+
+/// Run the warm-up protocol of Figure 4: a cold MC joins the broadcast and
+/// we time how fast its cache acquires the `CacheSize` highest-valued pages.
+pub fn run_warmup(cfg: &SystemConfig, protocol: &MeasurementProtocol) -> WarmupResult {
+    let mut engine = World::warmup_experiment(cfg, protocol).into_engine();
+    engine.run_while(|w| !w.done());
+    let w = engine.model();
+    let tracker = w.mc().warmup().expect("warmup world has a tracker");
+    WarmupResult {
+        fractions: tracker.fractions().to_vec(),
+        times: tracker.milestones().to_vec(),
+        sim_time: engine.now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+
+    #[test]
+    fn steady_state_result_is_populated() {
+        let mut cfg = SystemConfig::small();
+        cfg.algorithm = Algorithm::Ipp;
+        let r = run_steady_state(&cfg, &MeasurementProtocol::quick());
+        assert!(r.mean_response > 0.0);
+        assert!(r.measured_accesses > 0);
+        assert!(r.mc_hit_rate > 0.0);
+        assert!(r.sim_time > 0.0);
+        assert!(r.slots.push_pages > 0);
+    }
+
+    #[test]
+    fn warmup_result_has_all_milestones() {
+        let mut cfg = SystemConfig::small();
+        cfg.algorithm = Algorithm::PurePush;
+        let r = run_warmup(&cfg, &MeasurementProtocol::quick());
+        assert_eq!(r.fractions.len(), 10);
+        assert_eq!(r.times.len(), 10);
+        assert!(r.times.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn pure_push_response_is_independent_of_load() {
+        // The paper's flat line: Pure-Push performance does not depend on
+        // ThinkTimeRatio.
+        let mut a = SystemConfig::small();
+        a.algorithm = Algorithm::PurePush;
+        a.think_time_ratio = 10.0;
+        let mut b = a.clone();
+        b.think_time_ratio = 250.0;
+        let proto = MeasurementProtocol::quick();
+        let ra = run_steady_state(&a, &proto);
+        let rb = run_steady_state(&b, &proto);
+        assert_eq!(ra.mean_response, rb.mean_response);
+    }
+}

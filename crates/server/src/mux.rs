@@ -1,0 +1,121 @@
+//! The Push/Pull bandwidth multiplexer.
+//!
+//! "Before every page is broadcast, a coin weighted by PullBW is tossed and
+//! depending on the outcome, either the requested page at the head of queue
+//! is broadcast or the regular broadcast program continues. Note that the
+//! regular broadcast is not interrupted if the server queue is empty and
+//! thus, PullBW is only an upper limit on the bandwidth used to satisfy
+//! backchannel requests."
+
+use rand::Rng;
+
+/// What the next broadcast slot should carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotDecision {
+    /// Serve the head of the pull queue.
+    ServePull,
+    /// Continue the periodic push program.
+    ContinuePush,
+}
+
+/// The PullBW-weighted coin.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthMux {
+    pull_bw: f64,
+}
+
+impl BandwidthMux {
+    /// Create a MUX giving at most `pull_bw` (in `[0, 1]`) of the slots to
+    /// pulled pages.
+    pub fn new(pull_bw: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&pull_bw),
+            "PullBW must be a fraction in [0,1], got {pull_bw}"
+        );
+        BandwidthMux { pull_bw }
+    }
+
+    /// The configured pull-bandwidth bound.
+    pub fn pull_bw(&self) -> f64 {
+        self.pull_bw
+    }
+
+    /// Replace the bound (used by the adaptive extension).
+    pub fn set_pull_bw(&mut self, pull_bw: f64) {
+        assert!((0.0..=1.0).contains(&pull_bw));
+        self.pull_bw = pull_bw;
+    }
+
+    /// Decide the next slot. `queue_empty` short-circuits the coin: an empty
+    /// queue always continues the push program.
+    pub fn decide<R: Rng + ?Sized>(&self, queue_empty: bool, rng: &mut R) -> SlotDecision {
+        if queue_empty || self.pull_bw == 0.0 {
+            return SlotDecision::ContinuePush;
+        }
+        if self.pull_bw >= 1.0 || rng.random::<f64>() < self.pull_bw {
+            SlotDecision::ServePull
+        } else {
+            SlotDecision::ContinuePush
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_queue_always_pushes() {
+        let mux = BandwidthMux::new(1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(mux.decide(true, &mut rng), SlotDecision::ContinuePush);
+        }
+    }
+
+    #[test]
+    fn zero_pull_bw_never_pulls() {
+        let mux = BandwidthMux::new(0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(mux.decide(false, &mut rng), SlotDecision::ContinuePush);
+        }
+    }
+
+    #[test]
+    fn full_pull_bw_always_pulls_when_backlogged() {
+        let mux = BandwidthMux::new(1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(mux.decide(false, &mut rng), SlotDecision::ServePull);
+        }
+    }
+
+    #[test]
+    fn coin_respects_the_bound_empirically() {
+        let mux = BandwidthMux::new(0.3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 200_000;
+        let pulls = (0..n)
+            .filter(|_| mux.decide(false, &mut rng) == SlotDecision::ServePull)
+            .count();
+        let frac = pulls as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "pull fraction {frac}");
+    }
+
+    #[test]
+    fn set_pull_bw_takes_effect() {
+        let mut mux = BandwidthMux::new(0.0);
+        mux.set_pull_bw(1.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(mux.decide(false, &mut rng), SlotDecision::ServePull);
+    }
+
+    #[test]
+    #[should_panic(expected = "PullBW must be a fraction")]
+    fn out_of_range_pull_bw_panics() {
+        BandwidthMux::new(1.5);
+    }
+}

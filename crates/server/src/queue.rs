@@ -1,0 +1,262 @@
+//! The bounded, coalescing backchannel request queue.
+
+use bpp_broadcast::PageId;
+use std::collections::{HashMap, VecDeque};
+
+/// What happened to a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued as a new entry.
+    Enqueued,
+    /// A request for the page was already pending; this one piggybacks.
+    Coalesced,
+    /// The queue was full; the request is silently discarded.
+    DroppedFull,
+}
+
+/// Service order of the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// First in, first out — the paper's discipline.
+    #[default]
+    Fifo,
+    /// Serve the page with the most coalesced requests first (extension).
+    /// Ties go to the older entry.
+    MostRequested,
+}
+
+/// Counters matching the drop/coalesce accounting the paper reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests submitted in total.
+    pub received: u64,
+    /// Requests that created a new queue entry.
+    pub enqueued: u64,
+    /// Requests absorbed by an existing entry for the same page.
+    pub coalesced: u64,
+    /// Requests discarded because the queue was full.
+    pub dropped_full: u64,
+    /// Entries served (broadcast in a pull slot).
+    pub served: u64,
+}
+
+impl QueueStats {
+    /// Fraction of received requests discarded at a full queue.
+    pub fn drop_rate(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.dropped_full as f64 / self.received as f64
+        }
+    }
+
+    /// Fraction of received requests that were *ignored* by the server —
+    /// the paper's wider definition, counting both full-queue drops and
+    /// coalesced duplicates ("a request is dropped if either the queue is
+    /// already full or if there is a pre-existing queued request").
+    pub fn ignore_rate(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            (self.dropped_full + self.coalesced) as f64 / self.received as f64
+        }
+    }
+}
+
+/// Bounded queue of distinct page requests.
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    capacity: usize,
+    discipline: Discipline,
+    order: VecDeque<PageId>,
+    /// page -> number of coalesced requests waiting on it (>= 1).
+    pending: HashMap<PageId, u32>,
+    stats: QueueStats,
+}
+
+impl RequestQueue {
+    /// An empty FIFO queue holding at most `capacity` distinct pages.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_discipline(capacity, Discipline::Fifo)
+    }
+
+    /// An empty queue with an explicit service discipline.
+    pub fn with_discipline(capacity: usize, discipline: Discipline) -> Self {
+        RequestQueue {
+            capacity,
+            discipline,
+            order: VecDeque::new(),
+            pending: HashMap::new(),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Submit a pull request for `page`.
+    pub fn submit(&mut self, page: PageId) -> SubmitOutcome {
+        self.stats.received += 1;
+        if let Some(count) = self.pending.get_mut(&page) {
+            *count += 1;
+            self.stats.coalesced += 1;
+            return SubmitOutcome::Coalesced;
+        }
+        if self.order.len() >= self.capacity {
+            self.stats.dropped_full += 1;
+            return SubmitOutcome::DroppedFull;
+        }
+        self.pending.insert(page, 1);
+        self.order.push_back(page);
+        self.stats.enqueued += 1;
+        SubmitOutcome::Enqueued
+    }
+
+    /// Serve the next entry according to the discipline. Returns the page to
+    /// broadcast in the pull slot.
+    pub fn pop(&mut self) -> Option<PageId> {
+        let page = match self.discipline {
+            Discipline::Fifo => self.order.pop_front()?,
+            Discipline::MostRequested => {
+                let (idx, _) = self
+                    .order
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, p)| (self.pending[p], std::cmp::Reverse(i)))?;
+                self.order.remove(idx).expect("index valid")
+            }
+        };
+        self.pending.remove(&page);
+        self.stats.served += 1;
+        Some(page)
+    }
+
+    /// True when a request for `page` is pending.
+    pub fn is_pending(&self, page: PageId) -> bool {
+        self.pending.contains_key(&page)
+    }
+
+    /// Number of coalesced requests waiting on `page` (0 if none).
+    pub fn waiters(&self, page: PageId) -> u32 {
+        self.pending.get(&page).copied().unwrap_or(0)
+    }
+
+    /// Distinct pages currently queued.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Maximum number of distinct queued pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn fifo_serves_in_arrival_order() {
+        let mut q = RequestQueue::new(10);
+        q.submit(p(3));
+        q.submit(p(1));
+        q.submit(p(2));
+        assert_eq!(q.pop(), Some(p(3)));
+        assert_eq!(q.pop(), Some(p(1)));
+        assert_eq!(q.pop(), Some(p(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn duplicate_requests_coalesce() {
+        let mut q = RequestQueue::new(10);
+        assert_eq!(q.submit(p(5)), SubmitOutcome::Enqueued);
+        assert_eq!(q.submit(p(5)), SubmitOutcome::Coalesced);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.waiters(p(5)), 2);
+        assert_eq!(q.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn full_queue_drops_new_pages_but_coalesces_known_ones() {
+        let mut q = RequestQueue::new(2);
+        q.submit(p(1));
+        q.submit(p(2));
+        assert_eq!(q.submit(p(3)), SubmitOutcome::DroppedFull);
+        // Coalescing still works at capacity.
+        assert_eq!(q.submit(p(1)), SubmitOutcome::Coalesced);
+        assert_eq!(q.stats().dropped_full, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_clears_pending_so_page_can_requeue() {
+        let mut q = RequestQueue::new(2);
+        q.submit(p(7));
+        assert!(q.is_pending(p(7)));
+        assert_eq!(q.pop(), Some(p(7)));
+        assert!(!q.is_pending(p(7)));
+        assert_eq!(q.submit(p(7)), SubmitOutcome::Enqueued);
+    }
+
+    #[test]
+    fn drop_and_ignore_rates() {
+        let mut q = RequestQueue::new(1);
+        q.submit(p(1)); // enqueued
+        q.submit(p(1)); // coalesced
+        q.submit(p(2)); // dropped
+        q.submit(p(2)); // dropped
+        let s = q.stats();
+        assert_eq!(s.received, 4);
+        assert!((s.drop_rate() - 0.5).abs() < 1e-12);
+        assert!((s.ignore_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_are_zero_with_no_traffic() {
+        let q = RequestQueue::new(5);
+        assert_eq!(q.stats().drop_rate(), 0.0);
+        assert_eq!(q.stats().ignore_rate(), 0.0);
+    }
+
+    #[test]
+    fn most_requested_discipline_prefers_popular_pages() {
+        let mut q = RequestQueue::with_discipline(10, Discipline::MostRequested);
+        q.submit(p(1));
+        q.submit(p(2));
+        q.submit(p(2));
+        q.submit(p(3));
+        assert_eq!(q.pop(), Some(p(2)));
+        // Tie between 1 and 3 -> older entry (1) first.
+        assert_eq!(q.pop(), Some(p(1)));
+        assert_eq!(q.pop(), Some(p(3)));
+    }
+
+    #[test]
+    fn zero_capacity_queue_drops_everything() {
+        let mut q = RequestQueue::new(0);
+        assert_eq!(q.submit(p(1)), SubmitOutcome::DroppedFull);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn served_counter_tracks_pops() {
+        let mut q = RequestQueue::new(5);
+        q.submit(p(1));
+        q.submit(p(2));
+        q.pop();
+        assert_eq!(q.stats().served, 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! The event queue and dispatch loop.
+//!
+//! Design notes:
+//!
+//! * Time is `f64`. The model never produces NaN times; scheduling a NaN or
+//!   negative-delay event is a programming error and panics immediately,
+//!   which is the correct behaviour for a simulation (silently reordering
+//!   time would invalidate every downstream statistic).
+//! * Same-instant events fire in the order they were scheduled. This is
+//!   load-bearing: the server slot at time `t` must observe every request
+//!   that "arrived at `t`" only if it was scheduled before the slot event,
+//!   exactly like a process-oriented simulator with deterministic process
+//!   ordering.
+//! * Cancellation is tombstone-based: `cancel` marks the [`EventId`] and the
+//!   pop loop discards tombstoned entries lazily. This keeps `schedule` and
+//!   `cancel` at `O(log n)` / `O(1)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Simulated time in broadcast units (the time to broadcast one page).
+pub type Time = f64;
+
+/// Handle for a scheduled event, usable with [`Scheduler::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A simulation model: owns the domain state and interprets events.
+///
+/// The engine calls [`Model::handle`] for every dispatched event, passing the
+/// current time and a [`Scheduler`] for planting future events.
+pub trait Model: Sized {
+    /// The event vocabulary of this model.
+    type Event;
+
+    /// React to `event` occurring at time `now`.
+    fn handle(&mut self, now: Time, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Scheduled<E> {
+    time: Time,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get (earliest time, lowest seq)
+        // at the top. Times are guaranteed non-NaN at insertion.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event queue. Handed to [`Model::handle`] so models can plant
+/// future events while reacting to the current one.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    live: HashSet<EventId>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (must be `>= now` and finite).
+    pub fn schedule_at(&mut self, at: Time, event: E) -> EventId {
+        assert!(at.is_finite(), "event time must be finite, got {at}");
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} < now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.live.insert(id);
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            id,
+            event,
+        });
+        id
+    }
+
+    /// Schedule `event` after a non-negative `delay` from now.
+    pub fn schedule_in(&mut self, delay: Time, event: E) -> EventId {
+        assert!(
+            delay >= 0.0,
+            "delay must be non-negative, got {delay} at t={}",
+            self.now
+        );
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event had not yet fired
+    /// (or been cancelled); cancelling an already-fired event is a no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.id) {
+                continue;
+            }
+            self.live.remove(&s.id);
+            return Some(s);
+        }
+        None
+    }
+}
+
+/// The simulation engine: a [`Model`] plus its [`Scheduler`].
+pub struct Engine<M: Model> {
+    model: M,
+    sched: Scheduler<M::Event>,
+    dispatched: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine at time 0 with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            sched: Scheduler::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulated time (the time of the most recently fired event).
+    pub fn now(&self) -> Time {
+        self.sched.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to flip a measurement phase).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The scheduler, for priming initial events.
+    pub fn scheduler(&mut self) -> &mut Scheduler<M::Event> {
+        &mut self.sched
+    }
+
+    /// Dispatch the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(s) = self.sched.pop() else {
+            return false;
+        };
+        debug_assert!(s.time >= self.sched.now, "time must be monotone");
+        self.sched.now = s.time;
+        self.dispatched += 1;
+        self.model.handle(s.time, s.event, &mut self.sched);
+        true
+    }
+
+    /// Run until the event queue is drained.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until simulated time strictly exceeds `t` or the queue drains.
+    /// Events scheduled exactly at `t` are still dispatched.
+    pub fn run_until(&mut self, t: Time) {
+        loop {
+            match self.sched.heap.peek() {
+                Some(head) if head.time <= t => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Run while `keep_going(model)` holds and events remain.
+    pub fn run_while(&mut self, mut keep_going: impl FnMut(&M) -> bool) {
+        while keep_going(&self.model) && self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        log: Vec<(Time, u32)>,
+        cancel_target: Option<EventId>,
+    }
+
+    enum Ev {
+        Tag(u32),
+        CancelPlanted,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: Time, ev: Ev, sched: &mut Scheduler<Ev>) {
+            match ev {
+                Ev::Tag(t) => self.log.push((now, t)),
+                Ev::CancelPlanted => {
+                    let id = self.cancel_target.take().expect("target set");
+                    assert!(sched.cancel(id));
+                }
+            }
+        }
+    }
+
+    fn engine() -> Engine<Recorder> {
+        Engine::new(Recorder {
+            log: Vec::new(),
+            cancel_target: None,
+        })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = engine();
+        e.scheduler().schedule_at(5.0, Ev::Tag(5));
+        e.scheduler().schedule_at(1.0, Ev::Tag(1));
+        e.scheduler().schedule_at(3.0, Ev::Tag(3));
+        e.run_to_completion();
+        assert_eq!(e.model().log, vec![(1.0, 1), (3.0, 3), (5.0, 5)]);
+    }
+
+    #[test]
+    fn same_instant_events_fire_fifo() {
+        let mut e = engine();
+        for i in 0..100 {
+            e.scheduler().schedule_at(2.0, Ev::Tag(i));
+        }
+        e.run_to_completion();
+        let tags: Vec<u32> = e.model().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e = engine();
+        e.scheduler().schedule_at(10.0, Ev::Tag(0));
+        e.run_to_completion();
+        assert_eq!(e.now(), 10.0);
+        e.scheduler().schedule_in(2.5, Ev::Tag(1));
+        e.run_to_completion();
+        assert_eq!(e.model().log.last(), Some(&(12.5, 1)));
+    }
+
+    #[test]
+    fn cancelled_event_never_fires() {
+        let mut e = engine();
+        let victim = e.scheduler().schedule_at(5.0, Ev::Tag(99));
+        e.model_mut().cancel_target = Some(victim);
+        e.scheduler().schedule_at(1.0, Ev::CancelPlanted);
+        e.scheduler().schedule_at(6.0, Ev::Tag(1));
+        e.run_to_completion();
+        assert_eq!(e.model().log, vec![(6.0, 1)]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut e = engine();
+        let id = e.scheduler().schedule_at(1.0, Ev::Tag(7));
+        e.run_to_completion();
+        assert!(!e.scheduler().cancel(id));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut e = engine();
+        assert!(!e.scheduler().cancel(EventId(1234)));
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary_inclusive() {
+        let mut e = engine();
+        e.scheduler().schedule_at(1.0, Ev::Tag(1));
+        e.scheduler().schedule_at(2.0, Ev::Tag(2));
+        e.scheduler().schedule_at(2.0, Ev::Tag(22));
+        e.scheduler().schedule_at(3.0, Ev::Tag(3));
+        e.run_until(2.0);
+        assert_eq!(e.model().log, vec![(1.0, 1), (2.0, 2), (2.0, 22)]);
+        // The t=3 event is still pending.
+        assert_eq!(e.scheduler().pending(), 1);
+    }
+
+    #[test]
+    fn run_while_predicate_stops_dispatch() {
+        let mut e = engine();
+        for i in 0..10 {
+            e.scheduler().schedule_at(f64::from(i), Ev::Tag(i));
+        }
+        e.run_while(|m| m.log.len() < 4);
+        assert_eq!(e.model().log.len(), 4);
+    }
+
+    #[test]
+    fn pending_counts_exclude_cancelled() {
+        let mut e = engine();
+        let a = e.scheduler().schedule_at(1.0, Ev::Tag(0));
+        e.scheduler().schedule_at(2.0, Ev::Tag(1));
+        assert_eq!(e.scheduler().pending(), 2);
+        e.scheduler().cancel(a);
+        assert_eq!(e.scheduler().pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = engine();
+        e.scheduler().schedule_at(5.0, Ev::Tag(0));
+        e.run_to_completion();
+        e.scheduler().schedule_at(1.0, Ev::Tag(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scheduling_nan_panics() {
+        let mut e = engine();
+        e.scheduler().schedule_at(f64::NAN, Ev::Tag(0));
+    }
+
+    #[test]
+    fn dispatched_counter_tracks_events() {
+        let mut e = engine();
+        for i in 0..7 {
+            e.scheduler().schedule_at(f64::from(i), Ev::Tag(i));
+        }
+        e.run_to_completion();
+        assert_eq!(e.dispatched(), 7);
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every stochastic component of the simulation (Zipf draws, think times,
+//! the PullBW and SteadyStatePerc coins, noise permutation, ...) gets its
+//! own independent generator derived from a single experiment seed and a
+//! stable *stream* label. Two properties follow:
+//!
+//! 1. a whole experiment is reproducible from one `u64` seed, and
+//! 2. changing how often one component draws (e.g. adding a VC coin flip)
+//!    does not perturb the variates seen by any other component — the
+//!    classic "common random numbers" discipline for variance reduction
+//!    when comparing algorithms.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer; the standard way to decorrelate nearby seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive an independent generator for (`seed`, `stream`).
+///
+/// The same pair always yields the same generator; distinct streams under
+/// the same seed are decorrelated by two SplitMix64 rounds.
+pub fn stream_rng(seed: u64, stream: u64) -> SmallRng {
+    let mixed = splitmix64(splitmix64(seed) ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)));
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// A seed sequence: hands out numbered sub-seeds from a root seed, for
+/// components that themselves need several generators.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedSeq {
+    root: u64,
+    next: u64,
+}
+
+impl SeedSeq {
+    /// Start a sequence from `root`.
+    pub fn new(root: u64) -> Self {
+        SeedSeq { root, next: 0 }
+    }
+
+    /// The next generator in the sequence.
+    pub fn next_rng(&mut self) -> SmallRng {
+        let s = self.next;
+        self.next += 1;
+        stream_rng(self.root, s)
+    }
+
+    /// A generator for an explicit stream id (does not advance the sequence).
+    pub fn named(&self, stream: u64) -> SmallRng {
+        stream_rng(self.root, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream_is_reproducible() {
+        let mut a = stream_rng(42, 7);
+        let mut b = stream_rng(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = stream_rng(42, 0);
+        let mut b = stream_rng(42, 1);
+        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert_eq!(same, 0, "adjacent streams must not collide");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = stream_rng(1, 0);
+        let mut b = stream_rng(2, 0);
+        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn seed_seq_hands_out_distinct_generators() {
+        let mut seq = SeedSeq::new(9);
+        let mut a = seq.next_rng();
+        let mut b = seq.next_rng();
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn named_stream_matches_stream_rng() {
+        let seq = SeedSeq::new(5);
+        let mut a = seq.named(3);
+        let mut b = stream_rng(5, 3);
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn splitmix_distributes_low_entropy_seeds() {
+        // Seeds 0..16 must produce well-spread first outputs (sanity check
+        // against accidentally feeding raw counters to the generator).
+        let firsts: Vec<u64> = (0..16).map(|s| stream_rng(s, 0).random::<u64>()).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), firsts.len());
+    }
+}

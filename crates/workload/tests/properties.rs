@@ -1,0 +1,67 @@
+//! Property-based tests for the workload generators.
+
+use bpp_workload::{AccessPattern, AliasTable, NoisePermutation, ThinkTime, Zipf};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn zipf_always_normalised(n in 1usize..3000, theta in 0.0f64..2.0) {
+        let z = Zipf::new(n, theta);
+        let sum: f64 = z.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zipf_head_mass_monotone(n in 2usize..500, theta in 0.0f64..2.0, k in 1usize..499) {
+        let z = Zipf::new(n, theta);
+        let k = k.min(n - 1);
+        prop_assert!(z.head_mass(k) <= z.head_mass(k + 1) + 1e-12);
+    }
+
+    #[test]
+    fn alias_samples_in_range(weights in prop::collection::vec(0.0f64..10.0, 1..200), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let s = t.sample(&mut rng);
+            prop_assert!(s < weights.len());
+            // Zero-weight outcomes never appear.
+            prop_assert!(weights[s] > 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_permutation_is_bijective(n in 1usize..2000, noise in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = NoisePermutation::new(n, noise, &mut rng);
+        let mut seen = vec![false; n];
+        for r in 0..n {
+            let item = p.item_at_rank(r);
+            prop_assert!(!seen[item]);
+            seen[item] = true;
+            prop_assert_eq!(p.rank_of_item(item), r);
+        }
+    }
+
+    #[test]
+    fn access_pattern_conserves_mass(n in 1usize..1000, noise in 0.0f64..1.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, 0.95);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = AccessPattern::new(&z, NoisePermutation::new(n, noise, &mut rng));
+        let sum: f64 = p.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn think_time_nonnegative(mean in 0.001f64..1000.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = ThinkTime::Exponential { mean };
+        for _ in 0..50 {
+            let x = t.sample(&mut rng);
+            prop_assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+}

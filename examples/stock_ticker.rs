@@ -1,0 +1,70 @@
+//! Stock/news ticker scenario: a dissemination feed whose load swings
+//! between quiet overnight periods and frantic market-open spikes.
+//!
+//! The paper's §6 sketches the fix for exactly this regime: "as the
+//! contention on the server increases, a dynamic algorithm might
+//! automatically reduce the pull bandwidth at the server and also use a
+//! larger threshold at the client". This example compares static IPP
+//! settings against the adaptive controller at both load levels.
+//!
+//! ```text
+//! cargo run --release -p bpp-core --example stock_ticker
+//! ```
+
+use bpp_core::adaptive::{run_adaptive, AdaptiveConfig};
+use bpp_core::{run_steady_state, Algorithm, MeasurementProtocol, SystemConfig};
+
+fn ticker_config(ttr: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    // A ticker is extremely skewed: a handful of symbols dominate.
+    cfg.zipf_theta = 1.1;
+    cfg.algorithm = Algorithm::Ipp;
+    cfg.think_time_ratio = ttr;
+    cfg
+}
+
+fn main() {
+    let proto = MeasurementProtocol::quick();
+    println!("Stock ticker: response time (broadcast units) per IPP setting\n");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "configuration", "quiet (x25)", "open (x250)"
+    );
+
+    for (label, pull_bw, thres) in [
+        ("static, PullBW 50%, Thres 0%", 0.5, 0.0),
+        ("static, PullBW 50%, Thres 35%", 0.5, 0.35),
+        ("static, PullBW 10%, Thres 35%", 0.1, 0.35),
+    ] {
+        let mut row = format!("{label:<34}");
+        for ttr in [25.0, 250.0] {
+            let mut cfg = ticker_config(ttr);
+            cfg.pull_bw = pull_bw;
+            cfg.thres_perc = thres;
+            let r = run_steady_state(&cfg, &proto);
+            row.push_str(&format!(" {:>12.1}", r.mean_response));
+        }
+        println!("{row}");
+    }
+
+    let mut row = format!("{:<34}", "adaptive (drop-rate controller)");
+    let mut finals = Vec::new();
+    for ttr in [25.0, 250.0] {
+        let mut cfg = ticker_config(ttr);
+        cfg.pull_bw = 0.5;
+        cfg.thres_perc = 0.0;
+        let r = run_adaptive(&cfg, &proto, AdaptiveConfig::default());
+        row.push_str(&format!(" {:>12.1}", r.steady.mean_response));
+        finals.push((r.final_pull_bw, r.final_thres_perc, r.adjustments));
+    }
+    println!("{row}");
+    for (ttr, (bw, th, adj)) in [25.0, 250.0].iter().zip(finals) {
+        println!(
+            "    at load x{ttr}: controller settled on PullBW {:.0}%, Thres {:.0}% after {adj} adjustments",
+            bw * 100.0,
+            th * 100.0
+        );
+    }
+    println!("\nThe adaptive controller keeps the aggressive setting while the");
+    println!("market is quiet and backs off toward push as the open saturates it.");
+}

@@ -1,0 +1,118 @@
+//! Randomised-configuration robustness: every valid `SystemConfig` must
+//! produce a finite, invariant-respecting run — no panics, no stalls, no
+//! bandwidth-bound violations — across the whole parameter space, not just
+//! the paper's grid.
+
+use bpp_core::{
+    run_steady_state, Algorithm, CachePolicy, MeasurementProtocol, QueueDiscipline, SystemConfig,
+};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SystemConfig> {
+    let algo = prop_oneof![
+        Just(Algorithm::PurePush),
+        Just(Algorithm::PurePull),
+        Just(Algorithm::Ipp),
+    ];
+    let policy = prop_oneof![
+        Just(None),
+        Just(Some(CachePolicy::Pix)),
+        Just(Some(CachePolicy::P)),
+        Just(Some(CachePolicy::Lru)),
+        Just(Some(CachePolicy::Lfu)),
+    ];
+    (
+        (
+            algo,
+            policy,
+            2usize..8,                  // disk unit (scales sizes below)
+            0.0f64..1.5,                // zipf theta
+            prop_oneof![Just(0.0), Just(0.5), Just(0.95), Just(1.0)], // ssp
+            0.0f64..0.5,                // noise
+            1.0f64..300.0,              // think time ratio
+        ),
+        (
+            0.0f64..1.0,                // pull bw
+            prop_oneof![Just(0.0f64), Just(0.1), Just(0.35), Just(1.0)], // thres
+            0usize..4,                  // chop quarters of the slowest disk
+            any::<u64>(),               // seed
+            prop_oneof![Just(QueueDiscipline::Fifo), Just(QueueDiscipline::MostRequested)],
+            any::<bool>(),              // prefetch
+            prop_oneof![Just(0.0f64), Just(0.02), Just(0.2)], // update rate
+        ),
+    )
+        .prop_map(
+            |((algorithm, policy, unit, theta, ssp, noise, ttr), (bw, thres, chopq, seed, disc, pf, upd))| {
+                let disk_sizes = vec![unit, 4 * unit, 5 * unit];
+                let db = 10 * unit;
+                let slowest = 5 * unit;
+                let cache = unit.min(slowest);
+                SystemConfig {
+                    db_size: db,
+                    cache_size: cache,
+                    mc_think_time: 5.0,
+                    think_time_ratio: ttr,
+                    steady_state_perc: ssp,
+                    noise,
+                    zipf_theta: theta,
+                    disk_sizes,
+                    rel_freqs: vec![3, 2, 1],
+                    offset: true,
+                    server_queue_size: unit,
+                    pull_bw: bw,
+                    thres_perc: thres,
+                    chop: chopq * slowest / 4,
+                    algorithm,
+                    mc_cache_policy: policy,
+                    queue_discipline: disc,
+                    mc_prefetch: pf,
+                    update_rate: upd,
+                    update_access_correlation: 0.5,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_valid_config_runs_to_completion(cfg in arb_config()) {
+        let mut proto = MeasurementProtocol::quick();
+        // Keep the fuzz cheap: tiny measurement targets, tight caps.
+        proto.max_accesses = 400;
+        proto.skip_accesses = 50;
+        proto.max_warmup_accesses = 400;
+        proto.max_sim_time = 2.0e5;
+        let r = run_steady_state(&cfg, &proto);
+        // Finite, non-negative outputs.
+        prop_assert!(r.mean_response.is_finite() && r.mean_response >= 0.0);
+        prop_assert!(r.sim_time > 0.0 && r.sim_time <= proto.max_sim_time + 1.0);
+        prop_assert!((0.0..=1.0).contains(&r.mc_hit_rate));
+        prop_assert!((0.0..=1.0).contains(&r.drop_rate));
+        prop_assert!(r.drop_rate <= r.ignore_rate + 1e-12);
+        // Slot conservation.
+        let total = r.slots.push_pages + r.slots.pull_pages + r.slots.empty + r.slots.idle;
+        prop_assert!((total as f64 - r.sim_time).abs() <= 1.0);
+        // Algorithm bandwidth invariants.
+        match cfg.algorithm {
+            Algorithm::PurePush => {
+                prop_assert_eq!(r.slots.pull_pages, 0);
+                prop_assert_eq!(r.requests_received, 0);
+            }
+            Algorithm::PurePull => {
+                prop_assert_eq!(r.slots.push_pages, 0);
+                prop_assert_eq!(r.slots.empty, 0);
+            }
+            Algorithm::Ipp => {}
+        }
+        // Determinism: the same config reruns identically.
+        let r2 = run_steady_state(&cfg, &proto);
+        prop_assert_eq!(r.mean_response, r2.mean_response);
+        prop_assert_eq!(r.sim_time, r2.sim_time);
+    }
+}
