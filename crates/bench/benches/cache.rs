@@ -1,12 +1,11 @@
-//! Criterion microbenchmarks for the cache policies under a Zipf trace.
+//! Microbenchmarks for the cache policies under a Zipf trace.
 
-#![allow(missing_docs)] // criterion_group!/criterion_main! expand undocumented items
+#![allow(missing_docs)]
 
+use bpp_bench::Group;
 use bpp_cache::{LfuCache, LruCache, ReplacementPolicy, StaticScoreCache};
+use bpp_sim::rng::Xoshiro256pp;
 use bpp_workload::{AliasTable, Zipf};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 const DB: usize = 1000;
 const CAP: usize = 100;
@@ -15,7 +14,7 @@ const TRACE: usize = 10_000;
 fn zipf_trace() -> Vec<usize> {
     let z = Zipf::new(DB, 0.95);
     let t = AliasTable::new(z.probs());
-    let mut rng = SmallRng::seed_from_u64(42);
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
     (0..TRACE).map(|_| t.sample(&mut rng)).collect()
 }
 
@@ -31,37 +30,36 @@ fn run_trace<P: ReplacementPolicy>(cache: &mut P, trace: &[usize]) -> u64 {
     hits
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let trace = zipf_trace();
     let z = Zipf::new(DB, 0.95);
-    let freqs: Vec<usize> = (0..DB).map(|i| if i < 100 { 3 } else if i < 500 { 2 } else { 1 }).collect();
-    let mut g = c.benchmark_group("cache_trace_10k");
-    g.bench_function("pix", |b| {
-        b.iter(|| {
-            let mut cache = StaticScoreCache::pix(CAP, z.probs(), &freqs);
-            black_box(run_trace(&mut cache, &trace))
-        });
+    let freqs: Vec<usize> = (0..DB)
+        .map(|i| {
+            if i < 100 {
+                3
+            } else if i < 500 {
+                2
+            } else {
+                1
+            }
+        })
+        .collect();
+    let mut g = Group::new("cache_trace_10k");
+    g.bench("pix", || {
+        let mut cache = StaticScoreCache::pix(CAP, z.probs(), &freqs);
+        run_trace(&mut cache, &trace)
     });
-    g.bench_function("p", |b| {
-        b.iter(|| {
-            let mut cache = StaticScoreCache::p(CAP, z.probs());
-            black_box(run_trace(&mut cache, &trace))
-        });
+    g.bench("p", || {
+        let mut cache = StaticScoreCache::p(CAP, z.probs());
+        run_trace(&mut cache, &trace)
     });
-    g.bench_function("lru", |b| {
-        b.iter(|| {
-            let mut cache = LruCache::new(CAP);
-            black_box(run_trace(&mut cache, &trace))
-        });
+    g.bench("lru", || {
+        let mut cache = LruCache::new(CAP);
+        run_trace(&mut cache, &trace)
     });
-    g.bench_function("lfu", |b| {
-        b.iter(|| {
-            let mut cache = LfuCache::new(CAP);
-            black_box(run_trace(&mut cache, &trace))
-        });
+    g.bench("lfu", || {
+        let mut cache = LfuCache::new(CAP);
+        run_trace(&mut cache, &trace)
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

@@ -1,44 +1,39 @@
-//! Criterion microbenchmarks for the server request queue.
+//! Microbenchmarks for the server request queue.
 
-#![allow(missing_docs)] // criterion_group!/criterion_main! expand undocumented items
+#![allow(missing_docs)]
 
+use bpp_bench::Group;
 use bpp_broadcast::PageId;
 use bpp_server::{Discipline, RequestQueue};
+use bpp_sim::rng::Xoshiro256pp;
 use bpp_workload::{AliasTable, Zipf};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::hint::black_box;
 
 fn request_trace(n: usize) -> Vec<PageId> {
     let z = Zipf::new(1000, 0.95);
     let t = AliasTable::new(z.probs());
-    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
     (0..n).map(|_| PageId(t.sample(&mut rng) as u32)).collect()
 }
 
-fn bench_queue(c: &mut Criterion) {
+fn main() {
     let trace = request_trace(10_000);
-    let mut g = c.benchmark_group("queue_10k_requests");
+    let mut g = Group::new("queue_10k_requests");
     for (name, disc) in [
         ("fifo", Discipline::Fifo),
         ("most_requested", Discipline::MostRequested),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut q = RequestQueue::with_discipline(100, disc);
-                // Interleave 4 submissions per pop, like an overloaded server.
-                for chunk in trace.chunks(4) {
-                    for &p in chunk {
-                        q.submit(p);
-                    }
-                    black_box(q.pop());
+        g.bench(name, || {
+            let mut q = RequestQueue::with_discipline(100, disc);
+            // Interleave 4 submissions per pop, like an overloaded server.
+            for chunk in trace.chunks(4) {
+                for &p in chunk {
+                    q.submit(p);
                 }
-                black_box(q.stats().received)
-            });
+                black_box(q.pop());
+            }
+            q.stats().received
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_queue);
-criterion_main!(benches);

@@ -1,57 +1,57 @@
-//! Criterion microbenchmarks for broadcast-program construction and
+//! Microbenchmarks for broadcast-program construction and schedule queries
+//! (the per-slot hot path of the simulator).
 
-#![allow(missing_docs)] // criterion_group!/criterion_main! expand undocumented items
-//! schedule queries (the per-slot hot path of the simulator).
+#![allow(missing_docs)]
 
+use bpp_bench::Group;
 use bpp_broadcast::{assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 fn paper_assignment() -> Assignment {
     Assignment::with_offset(&identity_ranking(1000), &DiskSpec::paper_default(), 100)
 }
 
-fn bench_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("program_generation");
-    g.bench_function("paper_1000_pages", |b| {
+fn main() {
+    let mut gen = Group::new("program_generation");
+    {
         let a = paper_assignment();
-        b.iter(|| BroadcastProgram::generate(black_box(&a), 1000));
-    });
-    g.bench_function("large_10000_pages", |b| {
+        gen.bench("paper_1000_pages", || {
+            BroadcastProgram::generate(black_box(&a), 1000)
+        });
+    }
+    {
         let spec = DiskSpec::new(vec![1000, 4000, 5000], vec![3, 2, 1]);
         let a = Assignment::with_offset(&identity_ranking(10_000), &spec, 1000);
-        b.iter(|| BroadcastProgram::generate(black_box(&a), 10_000));
-    });
-    g.finish();
-}
+        gen.bench("large_10000_pages", || {
+            BroadcastProgram::generate(black_box(&a), 10_000)
+        });
+    }
+    gen.finish();
 
-fn bench_queries(c: &mut Criterion) {
     let program = BroadcastProgram::generate(&paper_assignment(), 1000);
-    let mut g = c.benchmark_group("schedule_queries");
-    g.bench_function("slots_until", |b| {
+    let mut q = Group::new("schedule_queries");
+    {
         let mut cursor = 0usize;
         let mut page = 0u32;
-        b.iter(|| {
+        q.bench("slots_until", || {
             cursor = (cursor + 97) % program.major_cycle();
             page = (page + 13) % 1000;
-            black_box(program.slots_until(PageId(page), cursor))
+            program.slots_until(PageId(page), cursor)
         });
-    });
-    g.bench_function("expected_slots", |b| {
+    }
+    {
         let mut page = 0u32;
-        b.iter(|| {
+        q.bench("expected_slots", || {
             page = (page + 13) % 1000;
-            black_box(program.expected_slots(PageId(page)))
+            program.expected_slots(PageId(page))
         });
-    });
-    g.bench_function("frequency", |b| {
+    }
+    {
         let mut page = 0u32;
-        b.iter(|| {
+        q.bench("frequency", || {
             page = (page + 13) % 1000;
-            black_box(program.frequency(PageId(page)))
+            program.frequency(PageId(page))
         });
-    });
-    g.finish();
+    }
+    q.finish();
 }
-
-criterion_group!(benches, bench_generation, bench_queries);
-criterion_main!(benches);

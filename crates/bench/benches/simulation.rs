@@ -1,29 +1,24 @@
-//! Criterion end-to-end benchmark: simulated broadcast slots per second
+//! End-to-end benchmark: simulated broadcast slots per second for each
+//! algorithm at a heavy load point (ThinkTimeRatio 100).
 
-#![allow(missing_docs)] // criterion_group!/criterion_main! expand undocumented items
-//! for each algorithm at a heavy load point (ThinkTimeRatio 100).
+#![allow(missing_docs)]
 
+use bpp_bench::Group;
 use bpp_core::{Algorithm, MeasurementProtocol, SystemConfig, World};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_20k_slots");
+fn main() {
+    let mut g = Group::new("simulate_20k_slots");
     g.sample_size(10);
     for algo in [Algorithm::PurePush, Algorithm::PurePull, Algorithm::Ipp] {
-        g.bench_function(algo.name(), |b| {
-            b.iter(|| {
-                let mut cfg = SystemConfig::paper_default();
-                cfg.algorithm = algo;
-                cfg.think_time_ratio = 100.0;
-                let proto = MeasurementProtocol::quick();
-                let mut engine = World::steady_state(&cfg, &proto).into_engine();
-                engine.run_until(20_000.0);
-                black_box(engine.dispatched())
-            });
+        g.bench(algo.name(), || {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.algorithm = algo;
+            cfg.think_time_ratio = 100.0;
+            let proto = MeasurementProtocol::quick();
+            let mut engine = World::steady_state(&cfg, &proto).into_engine();
+            engine.run_until(20_000.0);
+            engine.dispatched()
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);

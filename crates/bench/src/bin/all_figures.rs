@@ -41,8 +41,7 @@ fn main() {
         let fig = run();
         let table = response_table(&fig);
         println!("{}", table.render());
-        fs::write(out_dir.join(format!("{name}.csv")), table.to_csv())
-            .expect("write figure csv");
+        fs::write(out_dir.join(format!("{name}.csv")), table.to_csv()).expect("write figure csv");
         if let Some(d) = drops_table(&fig) {
             fs::write(out_dir.join(format!("{name}_drops.csv")), d.to_csv())
                 .expect("write drops csv");

@@ -28,7 +28,12 @@ fn main() {
     // prefetch extension recovers exactly that.
     let mut t = Table::new(
         "Extension 1 — volatile data: response vs update rate (updates/slot)",
-        &["update rate", "Push (demand)", "Push (autoprefetch)", "IPP PullBW=50%"],
+        &[
+            "update rate",
+            "Push (demand)",
+            "Push (autoprefetch)",
+            "IPP PullBW=50%",
+        ],
     );
     for rate in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0] {
         let mut row = vec![format!("{rate}")];
@@ -89,7 +94,12 @@ fn main() {
     // --- 3. Automatic program design. ---
     let mut t = Table::new(
         "Extension 3 — disk-shape optimiser vs the paper's layout (no cache)",
-        &["skew θ", "designed sizes @ freqs", "designed wait", "paper-layout wait"],
+        &[
+            "skew θ",
+            "designed sizes @ freqs",
+            "designed wait",
+            "paper-layout wait",
+        ],
     );
     for theta in [0.5, base.zipf_theta, 1.2] {
         let z = Zipf::new(base.db_size, theta);

@@ -4,10 +4,12 @@
 //! cross-checks.
 
 use bpp_bench::Opts;
+use bpp_broadcast::{
+    assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot,
+};
 use bpp_core::analytic;
 use bpp_core::report::{fmt_units, Table};
 use bpp_core::{Algorithm, SystemConfig};
-use bpp_broadcast::{assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot};
 
 fn main() {
     let opts = Opts::parse();
@@ -38,10 +40,8 @@ fn main() {
 
     // Figure 1: the 7-page, 3-disk example program.
     let spec = DiskSpec::new(vec![1, 2, 4], vec![4, 2, 1]);
-    let prog = BroadcastProgram::generate(
-        &Assignment::from_ranking(&identity_ranking(7), &spec),
-        7,
-    );
+    let prog =
+        BroadcastProgram::generate(&Assignment::from_ranking(&identity_ranking(7), &spec), 7);
     let names = ["a", "b", "c", "d", "e", "f", "g"];
     let layout: Vec<&str> = prog
         .slots()
@@ -58,15 +58,36 @@ fn main() {
 
     // The evaluation program.
     let program = analytic::build_program(&cfg);
-    let mut tp = Table::new("Generated broadcast program (evaluation config)", &["property", "value"]);
-    tp.push_row(vec!["major cycle (slots)".into(), program.major_cycle().to_string()]);
-    tp.push_row(vec!["minor cycle (slots)".into(), program.minor_cycle().to_string()]);
-    tp.push_row(vec!["minor cycles".into(), program.num_minor_cycles().to_string()]);
-    tp.push_row(vec!["padding slots".into(), program.empty_slots().to_string()]);
-    tp.push_row(vec!["distinct pages".into(), program.distinct_pages().to_string()]);
+    let mut tp = Table::new(
+        "Generated broadcast program (evaluation config)",
+        &["property", "value"],
+    );
+    tp.push_row(vec![
+        "major cycle (slots)".into(),
+        program.major_cycle().to_string(),
+    ]);
+    tp.push_row(vec![
+        "minor cycle (slots)".into(),
+        program.minor_cycle().to_string(),
+    ]);
+    tp.push_row(vec![
+        "minor cycles".into(),
+        program.num_minor_cycles().to_string(),
+    ]);
+    tp.push_row(vec![
+        "padding slots".into(),
+        program.empty_slots().to_string(),
+    ]);
+    tp.push_row(vec![
+        "distinct pages".into(),
+        program.distinct_pages().to_string(),
+    ]);
     for (label, pid) in [
         ("fast-disk page delay", PageId((cfg.cache_size + 1) as u32)),
-        ("mid-disk page delay", PageId((cfg.cache_size + cfg.disk_sizes[0] + 1) as u32)),
+        (
+            "mid-disk page delay",
+            PageId((cfg.cache_size + cfg.disk_sizes[0] + 1) as u32),
+        ),
         ("slow-disk page delay", PageId((cfg.db_size - 1) as u32)),
     ] {
         if let Some(d) = program.expected_slots(pid) {
@@ -90,7 +111,12 @@ fn main() {
         let a = analytic::pull_mm1k(&c);
         ta.push_row(vec![
             format!("M/M/1/K pull @ TTR={ttr} (rho / block / response)"),
-            format!("{:.2} / {:.1}% / {}", a.rho, a.block_prob * 100.0, fmt_units(a.response)),
+            format!(
+                "{:.2} / {:.1}% / {}",
+                a.rho,
+                a.block_prob * 100.0,
+                fmt_units(a.response)
+            ),
         ]);
     }
     println!("{}", ta.render());

@@ -10,9 +10,13 @@
 //! * `--small`   run on the scaled-down test system (100 pages) instead of
 //!   the paper's 1000-page configuration.
 
+pub mod micro;
+
 use bpp_core::experiments::Figure;
 use bpp_core::report::{fmt_pct, fmt_units, Table};
 use bpp_core::{MeasurementProtocol, SystemConfig};
+
+pub use micro::{BenchStats, Group};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,213 @@
+//! Minimal in-tree micro-benchmark runner (`harness = false` bench
+//! targets): wall-clock timing via `std::time::Instant`, automatic
+//! iteration-count calibration, and machine-readable JSON output for
+//! tracking the performance trajectory across commits.
+//!
+//! Each bench target builds one [`Group`], registers closures with
+//! [`Group::bench`], and calls [`Group::finish`], which prints an aligned
+//! table and writes `BENCH_<group>.json` into the working directory:
+//!
+//! ```json
+//! {
+//!   "group": "cache_trace_10k",
+//!   "benchmarks": [
+//!     {"name": "pix", "mean_ns": 1234.5, "median_ns": 1200.0,
+//!      "min_ns": 1100.0, "max_ns": 1500.0,
+//!      "samples": 30, "iters_per_sample": 8}
+//!   ]
+//! }
+//! ```
+
+use bpp_json::{Json, ToJson};
+use std::time::Instant;
+
+/// Target wall-clock time for one timed sample during calibration.
+const TARGET_SAMPLE_NS: f64 = 5_000_000.0; // 5 ms
+
+/// One measured benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations averaged within each sample.
+    pub iters_per_sample: u64,
+}
+
+impl ToJson for BenchStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("median_ns", self.median_ns.to_json()),
+            ("min_ns", self.min_ns.to_json()),
+            ("max_ns", self.max_ns.to_json()),
+            ("samples", self.samples.to_json()),
+            ("iters_per_sample", self.iters_per_sample.to_json()),
+        ])
+    }
+}
+
+/// A named collection of benchmarks sharing a sample budget.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchStats>,
+}
+
+impl Group {
+    /// Start a group; `name` becomes the JSON file stem (`BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            sample_size: 30,
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the number of timed samples (default 30). Use a small value
+    /// for expensive end-to-end benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least two samples for a spread");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure `f`, auto-calibrating how many iterations fit in one sample.
+    ///
+    /// The closure's return value is passed through [`std::hint::black_box`]
+    /// so the optimiser cannot delete the measured work.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        // Calibrate: run once (warm-up + rough cost), then pick an
+        // iteration count that makes a sample last ~TARGET_SAMPLE_NS.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as f64;
+        let iters = ((TARGET_SAMPLE_NS / once_ns).round() as u64).clamp(1, 1_000_000);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let median = if per_iter.len() % 2 == 1 {
+            per_iter[per_iter.len() / 2]
+        } else {
+            (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
+        };
+        let stats = BenchStats {
+            name: name.to_string(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().expect("sample_size >= 2"),
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+        };
+        println!(
+            "{}/{:<24} mean {:>12}  median {:>12}  [{} .. {}]  ({} samples x {} iters)",
+            self.name,
+            stats.name,
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.max_ns),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        self.results.push(stats);
+    }
+
+    /// Emit `BENCH_<group>.json` and consume the group.
+    pub fn finish(self) {
+        let path = format!("BENCH_{}.json", self.name);
+        let doc = Json::object([
+            ("group", self.name.to_json()),
+            ("benchmarks", self.results.to_json()),
+        ]);
+        match std::fs::write(&path, doc.dump_pretty() + "\n") {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_sane_stats() {
+        let mut g = Group::new("unit_test_group");
+        g.sample_size(3);
+        let mut acc = 0u64;
+        g.bench("wrapping_sum", || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        let s = &g.results[0];
+        assert_eq!(s.samples, 3);
+        assert!(s.iters_per_sample >= 1);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn stats_serialize_with_the_documented_shape() {
+        let s = BenchStats {
+            name: "x".into(),
+            mean_ns: 1.5,
+            median_ns: 1.0,
+            min_ns: 0.5,
+            max_ns: 2.0,
+            samples: 30,
+            iters_per_sample: 8,
+        };
+        let j = bpp_json::to_string(&s);
+        for key in [
+            "name",
+            "mean_ns",
+            "median_ns",
+            "min_ns",
+            "max_ns",
+            "samples",
+            "iters_per_sample",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn single_sample_is_rejected() {
+        Group::new("g").sample_size(1);
+    }
+}

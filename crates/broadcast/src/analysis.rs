@@ -61,7 +61,11 @@ pub fn analyse(program: &BroadcastProgram, probs: &[f64], cached: &[PageId]) -> 
     }
     ProgramAnalysis {
         expected_response: weighted, // hits contribute 0
-        expected_miss_response: if miss_mass > 0.0 { weighted / miss_mass } else { 0.0 },
+        expected_miss_response: if miss_mass > 0.0 {
+            weighted / miss_mass
+        } else {
+            0.0
+        },
         cache_hit_mass: hit_mass,
         unserved_mass: unserved,
     }

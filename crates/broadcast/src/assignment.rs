@@ -12,18 +12,36 @@
 //!   altogether (they become pull-only), emptying the slowest disk first.
 
 use crate::PageId;
-use serde::{Deserialize, Serialize};
+use bpp_json::{field, FromJson, Json, JsonError, ToJson};
 
 /// Shape of a multi-disk broadcast: per-disk sizes and relative spin speeds.
 ///
 /// Disk 0 is the fastest; frequencies are relative to the slowest disk
 /// (which conventionally has `rel_freq = 1`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiskSpec {
     /// Number of pages on each disk, fastest disk first.
     pub sizes: Vec<usize>,
     /// Relative broadcast frequency of each disk (same length as `sizes`).
     pub rel_freqs: Vec<u32>,
+}
+
+impl ToJson for DiskSpec {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("sizes", self.sizes.to_json()),
+            ("rel_freqs", self.rel_freqs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DiskSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(DiskSpec {
+            sizes: field(v, "sizes")?,
+            rel_freqs: field(v, "rel_freqs")?,
+        })
+    }
 }
 
 impl DiskSpec {
@@ -35,7 +53,10 @@ impl DiskSpec {
     pub fn new(sizes: Vec<usize>, rel_freqs: Vec<u32>) -> Self {
         assert_eq!(sizes.len(), rel_freqs.len(), "sizes/freqs length mismatch");
         assert!(!sizes.is_empty(), "need at least one disk");
-        assert!(rel_freqs.iter().all(|&f| f > 0), "frequencies must be positive");
+        assert!(
+            rel_freqs.iter().all(|&f| f > 0),
+            "frequencies must be positive"
+        );
         assert!(
             rel_freqs.windows(2).all(|w| w[0] >= w[1]),
             "disks must be ordered fastest to slowest"
@@ -122,7 +143,11 @@ impl Assignment {
         let mut disks = Vec::with_capacity(spec.num_disks());
         let mut cursor = 0usize;
         for (i, &size) in spec.sizes.iter().enumerate() {
-            let take = if i == slowest { size - cache_size } else { size };
+            let take = if i == slowest {
+                size - cache_size
+            } else {
+                size
+            };
             let mut disk = Vec::with_capacity(size);
             if i == slowest {
                 disk.extend_from_slice(hot);

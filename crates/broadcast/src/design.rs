@@ -103,7 +103,10 @@ pub fn design_disks(ranked_probs: &[f64], num_disks: usize, max_freq: u32) -> Di
     let mut freqs = Vec::with_capacity(num_disks);
     enumerate_decreasing(max_freq, num_disks, &mut freqs, &mut |freqs| {
         if let Some(design) = best_partition(&prefix, n, freqs) {
-            if best.as_ref().is_none_or(|b| design.expected_wait < b.expected_wait) {
+            if best
+                .as_ref()
+                .is_none_or(|b| design.expected_wait < b.expected_wait)
+            {
                 best = Some(design);
             }
         }
@@ -186,7 +189,11 @@ fn best_partition(prefix: &[f64], n: usize, freqs: &[u32]) -> Option<DiskDesign>
         improved = false;
         for k in 0..bounds.len() {
             let lo = if k == 0 { 1 } else { bounds[k - 1] + 1 };
-            let hi = if k + 1 < bounds.len() { bounds[k + 1] - 1 } else { n - 1 };
+            let hi = if k + 1 < bounds.len() {
+                bounds[k + 1] - 1
+            } else {
+                n - 1
+            };
             for candidate in lo..=hi {
                 let old = bounds[k];
                 bounds[k] = candidate;
@@ -341,7 +348,12 @@ mod tests {
             .map(|i| probs[i] * prog.expected_slots(PageId(i as u32)).unwrap())
             .sum();
         let rel = (real - d.expected_wait).abs() / d.expected_wait;
-        assert!(rel < 0.15, "model {} vs program {} (rel {rel})", d.expected_wait, real);
+        assert!(
+            rel < 0.15,
+            "model {} vs program {} (rel {rel})",
+            d.expected_wait,
+            real
+        );
     }
 
     #[test]

@@ -42,24 +42,26 @@ pub use indexing::{optimal_m, IndexedProgram, IndexedSlot};
 pub use program::{BroadcastProgram, Slot};
 
 /// Identifier of a database page. Pages are dense indexes `0..ServerDBSize`.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
 impl PageId {
     /// The page index as a `usize`.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+// A page identifier serializes as its bare index (newtype convention).
+impl bpp_json::ToJson for PageId {
+    fn to_json(&self) -> bpp_json::Json {
+        bpp_json::ToJson::to_json(&self.0)
+    }
+}
+
+impl bpp_json::FromJson for PageId {
+    fn from_json(v: &bpp_json::Json) -> Result<Self, bpp_json::JsonError> {
+        <u32 as bpp_json::FromJson>::from_json(v).map(PageId)
     }
 }
 

@@ -127,7 +127,10 @@ impl BroadcastProgram {
 
     /// Number of padding slots per major cycle.
     pub fn empty_slots(&self) -> usize {
-        self.slots.iter().filter(|s| matches!(s, Slot::Empty)).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Empty))
+            .count()
     }
 
     /// The slot at schedule position `idx` (must be `< major_cycle`).

@@ -170,7 +170,10 @@ impl ReplacementPolicy for StaticScoreCache {
             self.stats.insertions += 1;
             return None;
         }
-        let min = *self.ordered.first().expect("cache is full, hence non-empty");
+        let min = *self
+            .ordered
+            .first()
+            .expect("cache is full, hence non-empty");
         if entry <= min {
             // Incoming item is the lowest-valued candidate: do not admit.
             self.stats.rejected += 1;

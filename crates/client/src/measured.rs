@@ -13,9 +13,9 @@ use crate::threshold::ThresholdFilter;
 use crate::warmup::WarmupTracker;
 use bpp_broadcast::{BroadcastProgram, PageId};
 use bpp_cache::ReplacementPolicy;
+use bpp_sim::rng::Rng;
 use bpp_sim::Time;
 use bpp_workload::{AccessPattern, ThinkTime};
-use rand::Rng;
 
 /// Outcome of starting an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,7 +166,11 @@ impl MeasuredClient {
     /// it, the access completes: returns the response time (now − request
     /// time) and inserts the page into the cache.
     pub fn on_broadcast(&mut self, now: Time, page: PageId) -> Option<f64> {
-        let State::Waiting { page: waiting, since } = self.state else {
+        let State::Waiting {
+            page: waiting,
+            since,
+        } = self.state
+        else {
             return None;
         };
         if waiting != page {
@@ -235,9 +239,8 @@ mod tests {
     use super::*;
     use bpp_broadcast::{assignment::identity_ranking, Assignment, DiskSpec};
     use bpp_cache::StaticScoreCache;
+    use bpp_sim::rng::Xoshiro256pp;
     use bpp_workload::{NoisePermutation, Zipf};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn setup(cache_cap: usize, thres: f64) -> (MeasuredClient, BroadcastProgram) {
         let n = 7;
@@ -246,22 +249,19 @@ mod tests {
         let program = BroadcastProgram::generate(&a, n);
         let zipf = Zipf::new(n, 0.95);
         let pattern = AccessPattern::new(&zipf, NoisePermutation::identity(n));
-        let freqs: Vec<usize> = (0..n).map(|i| program.frequency(PageId(i as u32))).collect();
+        let freqs: Vec<usize> = (0..n)
+            .map(|i| program.frequency(PageId(i as u32)))
+            .collect();
         let cache = StaticScoreCache::pix(cache_cap, pattern.probs(), &freqs);
         let threshold = ThresholdFilter::from_percentage(thres, program.major_cycle());
-        let mc = MeasuredClient::new(
-            pattern,
-            Box::new(cache),
-            ThinkTime::Fixed(2.0),
-            threshold,
-        );
+        let mc = MeasuredClient::new(pattern, Box::new(cache), ThinkTime::Fixed(2.0), threshold);
         (mc, program)
     }
 
     #[test]
     fn miss_then_delivery_yields_response_time() {
         let (mut mc, program) = setup(0, 0.0);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let out = mc.begin_access(10.0, &program, 0, &mut rng);
         let BeginOutcome::Miss { page, send_request } = out else {
             panic!("cache is empty; must miss");
@@ -280,7 +280,7 @@ mod tests {
     #[test]
     fn cached_page_hits_and_does_not_block() {
         let (mut mc, program) = setup(7, 0.0);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         // Fill the cache by running accesses and delivering.
         for _ in 0..50 {
             match mc.begin_access(0.0, &program, 0, &mut rng) {
@@ -299,7 +299,7 @@ mod tests {
     #[test]
     fn threshold_suppresses_near_pages() {
         let (mut mc, program) = setup(0, 1.0);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         // Full threshold: nothing on the broadcast is ever requested.
         for _ in 0..20 {
             match mc.begin_access(0.0, &program, 0, &mut rng) {
@@ -317,7 +317,7 @@ mod tests {
     #[should_panic(expected = "already waiting")]
     fn double_begin_panics() {
         let (mut mc, program) = setup(0, 0.0);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         mc.begin_access(0.0, &program, 0, &mut rng);
         mc.begin_access(1.0, &program, 0, &mut rng);
     }
@@ -326,11 +326,12 @@ mod tests {
     fn warmup_tracker_observes_insertions() {
         let (mut mc, program) = setup(2, 0.0);
         // Recompute the PIX ideal content exactly as setup() builds it.
-        let freqs: Vec<usize> = (0..7).map(|i| program.frequency(PageId(i as u32))).collect();
-        let ideal =
-            StaticScoreCache::pix(2, mc.pattern().probs(), &freqs).ideal_content();
+        let freqs: Vec<usize> = (0..7)
+            .map(|i| program.frequency(PageId(i as u32)))
+            .collect();
+        let ideal = StaticScoreCache::pix(2, mc.pattern().probs(), &freqs).ideal_content();
         mc.attach_warmup(WarmupTracker::with_fractions(7, &ideal, &[0.5, 1.0]));
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         for _ in 0..200 {
             match mc.begin_access(0.0, &program, 0, &mut rng) {
                 BeginOutcome::Miss { page, .. } => {
@@ -346,10 +347,9 @@ mod tests {
     #[test]
     fn stats_balance() {
         let (mut mc, program) = setup(3, 0.0);
-        let mut rng = SmallRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         for _ in 0..100 {
-            if let BeginOutcome::Miss { page, .. } = mc.begin_access(0.0, &program, 0, &mut rng)
-            {
+            if let BeginOutcome::Miss { page, .. } = mc.begin_access(0.0, &program, 0, &mut rng) {
                 mc.on_broadcast(0.0, page);
             }
         }

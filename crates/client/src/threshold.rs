@@ -47,12 +47,7 @@ impl ThresholdFilter {
 
     /// Should a miss on `page` be requested over the backchannel, given the
     /// program and the server's current schedule position?
-    pub fn should_request(
-        &self,
-        program: &BroadcastProgram,
-        page: PageId,
-        cursor: usize,
-    ) -> bool {
+    pub fn should_request(&self, program: &BroadcastProgram, page: PageId, cursor: usize) -> bool {
         match program.slots_until(page, cursor) {
             None => true, // not on the broadcast: the backchannel is the only way
             Some(dist) => dist > self.thres_slots,

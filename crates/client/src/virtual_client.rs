@@ -19,8 +19,8 @@
 //! of requests dropped — only arise in an open-loop overload regime).
 
 use bpp_broadcast::PageId;
+use bpp_sim::rng::Rng;
 use bpp_workload::{AccessPattern, ThinkTime};
-use rand::Rng;
 
 /// Outcome of one Virtual-Client access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +61,10 @@ impl VirtualClient {
             (0.0..=1.0).contains(&steady_state_perc),
             "SteadyStatePerc must be in [0,1]"
         );
-        assert!(mean_interarrival > 0.0, "inter-arrival mean must be positive");
+        assert!(
+            mean_interarrival > 0.0,
+            "inter-arrival mean must be positive"
+        );
         let mut steady_cached = vec![false; pattern.len()];
         for &i in steady_items {
             steady_cached[i] = true;
@@ -116,9 +119,8 @@ impl VirtualClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bpp_sim::rng::Xoshiro256pp;
     use bpp_workload::Zipf;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn vc(ssp: f64, cached: &[usize]) -> VirtualClient {
         let z = Zipf::new(100, 0.95);
@@ -128,7 +130,7 @@ mod tests {
     #[test]
     fn warmup_population_never_hits() {
         let mut v = vc(0.0, &(0..50).collect::<Vec<_>>());
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..1000 {
             assert!(matches!(v.access(&mut rng), VcAccess::Miss(_)));
         }
@@ -139,7 +141,7 @@ mod tests {
     fn fully_steady_population_hits_cached_pages() {
         let cached: Vec<usize> = (0..100).collect();
         let mut v = vc(1.0, &cached);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for _ in 0..1000 {
             assert_eq!(v.access(&mut rng), VcAccess::CacheHit);
         }
@@ -150,7 +152,7 @@ mod tests {
         // Cache the whole database: hit rate == steady-state fraction.
         let cached: Vec<usize> = (0..100).collect();
         let mut v = vc(0.95, &cached);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 100_000;
         for _ in 0..n {
             v.access(&mut rng);
@@ -162,7 +164,7 @@ mod tests {
     #[test]
     fn misses_name_uncached_or_warmup_pages() {
         let mut v = vc(1.0, &[0, 1, 2]);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         for _ in 0..2000 {
             if let VcAccess::Miss(p) = v.access(&mut rng) {
                 assert!(p.index() >= 3, "steady VC missed a cached page");
@@ -173,7 +175,7 @@ mod tests {
     #[test]
     fn interarrival_mean_is_configured() {
         let v = vc(0.5, &[]);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| v.next_interarrival(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");

@@ -15,12 +15,12 @@
 use crate::config::{MeasurementProtocol, SystemConfig};
 use crate::runner::{SlotKinds, SteadyStateResult};
 use crate::simulation::World;
+use bpp_json::{field, FromJson, Json, JsonError, ToJson};
 use bpp_server::QueueStats;
 use bpp_sim::Confidence;
-use serde::{Deserialize, Serialize};
 
 /// Tuning of the adaptive controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveConfig {
     /// Slots between adjustment decisions.
     pub interval: u64,
@@ -55,6 +55,38 @@ impl Default for AdaptiveConfig {
             high_drop: 0.10,
             low_drop: 0.01,
         }
+    }
+}
+
+impl ToJson for AdaptiveConfig {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("interval", self.interval.to_json()),
+            ("min_pull_bw", self.min_pull_bw.to_json()),
+            ("max_pull_bw", self.max_pull_bw.to_json()),
+            ("bw_step", self.bw_step.to_json()),
+            ("min_thres", self.min_thres.to_json()),
+            ("max_thres", self.max_thres.to_json()),
+            ("thres_step", self.thres_step.to_json()),
+            ("high_drop", self.high_drop.to_json()),
+            ("low_drop", self.low_drop.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AdaptiveConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(AdaptiveConfig {
+            interval: field(v, "interval")?,
+            min_pull_bw: field(v, "min_pull_bw")?,
+            max_pull_bw: field(v, "max_pull_bw")?,
+            bw_step: field(v, "bw_step")?,
+            min_thres: field(v, "min_thres")?,
+            max_thres: field(v, "max_thres")?,
+            thres_step: field(v, "thres_step")?,
+            high_drop: field(v, "high_drop")?,
+            low_drop: field(v, "low_drop")?,
+        })
     }
 }
 
@@ -136,7 +168,7 @@ impl AdaptiveController {
 }
 
 /// Steady-state result of an adaptive run plus the final knob settings.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveResult {
     /// The usual steady-state metrics.
     pub steady: SteadyStateResult,
@@ -146,6 +178,17 @@ pub struct AdaptiveResult {
     pub final_thres_perc: f64,
     /// Adjustments made over the run.
     pub adjustments: u64,
+}
+
+impl ToJson for AdaptiveResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("steady", self.steady.to_json()),
+            ("final_pull_bw", self.final_pull_bw.to_json()),
+            ("final_thres_perc", self.final_thres_perc.to_json()),
+            ("adjustments", self.adjustments.to_json()),
+        ])
+    }
 }
 
 /// Run the steady-state protocol with the adaptive controller enabled.

@@ -17,8 +17,7 @@
 
 use crate::config::{Algorithm, CachePolicy, SystemConfig};
 use bpp_broadcast::{
-    analysis::analyse, assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec,
-    PageId,
+    analysis::analyse, assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId,
 };
 use bpp_cache::StaticScoreCache;
 use bpp_workload::Zipf;

@@ -1,9 +1,9 @@
 //! System configuration — Tables 1, 2 and 3 of the paper.
 
-use serde::{Deserialize, Serialize};
+use bpp_json::{field, FromJson, Json, JsonError, ToJson};
 
 /// The three data-delivery algorithms compared in the paper (§2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// Broadcast Disk only; `PullBW = 0`, no backchannel.
     PurePush,
@@ -26,11 +26,36 @@ impl Algorithm {
     }
 }
 
+// Unit enum variants serialize as their name, like derived serde did.
+impl ToJson for Algorithm {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Algorithm::PurePush => "PurePush",
+                Algorithm::PurePull => "PurePull",
+                Algorithm::Ipp => "Ipp",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Algorithm {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("PurePush") => Ok(Algorithm::PurePush),
+            Some("PurePull") => Ok(Algorithm::PurePull),
+            Some("Ipp") => Ok(Algorithm::Ipp),
+            _ => Err(JsonError::new("expected an Algorithm variant name")),
+        }
+    }
+}
+
 /// Client cache replacement policy.
 ///
 /// The paper uses PIX whenever pages are retrieved from a Broadcast Disk
 /// and P under Pure-Pull; LRU/LFU are kept as ablation baselines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CachePolicy {
     /// Probability over broadcast frequency (`p/x`).
     Pix,
@@ -42,8 +67,34 @@ pub enum CachePolicy {
     Lfu,
 }
 
+impl ToJson for CachePolicy {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                CachePolicy::Pix => "Pix",
+                CachePolicy::P => "P",
+                CachePolicy::Lru => "Lru",
+                CachePolicy::Lfu => "Lfu",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for CachePolicy {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Pix") => Ok(CachePolicy::Pix),
+            Some("P") => Ok(CachePolicy::P),
+            Some("Lru") => Ok(CachePolicy::Lru),
+            Some("Lfu") => Ok(CachePolicy::Lfu),
+            _ => Err(JsonError::new("expected a CachePolicy variant name")),
+        }
+    }
+}
+
 /// Server queue service order (see `bpp_server::Discipline`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueueDiscipline {
     /// First in, first out — the paper's discipline.
     #[default]
@@ -52,11 +103,33 @@ pub enum QueueDiscipline {
     MostRequested,
 }
 
+impl ToJson for QueueDiscipline {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                QueueDiscipline::Fifo => "Fifo",
+                QueueDiscipline::MostRequested => "MostRequested",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for QueueDiscipline {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Fifo") => Ok(QueueDiscipline::Fifo),
+            Some("MostRequested") => Ok(QueueDiscipline::MostRequested),
+            _ => Err(JsonError::new("expected a QueueDiscipline variant name")),
+        }
+    }
+}
+
 /// Full parameterisation of one simulated system.
 ///
 /// Defaults ([`SystemConfig::paper_default`]) reproduce Table 3. All
 /// percentages are fractions in `[0, 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Distinct pages at the server (`ServerDBSize`).
     pub db_size: usize,
@@ -214,9 +287,15 @@ impl SystemConfig {
             self.rel_freqs.len(),
             "one frequency per disk"
         );
-        assert!(self.cache_size <= self.db_size, "cache larger than database");
+        assert!(
+            self.cache_size <= self.db_size,
+            "cache larger than database"
+        );
         assert!(self.mc_think_time > 0.0, "think time must be positive");
-        assert!(self.think_time_ratio > 0.0, "ThinkTimeRatio must be positive");
+        assert!(
+            self.think_time_ratio > 0.0,
+            "ThinkTimeRatio must be positive"
+        );
         assert!(
             self.update_rate >= 0.0 && self.update_rate.is_finite(),
             "update_rate must be finite and >= 0"
@@ -230,7 +309,10 @@ impl SystemConfig {
         ] {
             assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
         }
-        assert!(self.chop <= self.db_size, "cannot chop more than the database");
+        assert!(
+            self.chop <= self.db_size,
+            "cannot chop more than the database"
+        );
         if self.offset && self.algorithm != Algorithm::PurePull {
             let slowest = *self.disk_sizes.last().expect("validated non-empty");
             assert!(
@@ -241,10 +323,69 @@ impl SystemConfig {
     }
 }
 
+impl ToJson for SystemConfig {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("db_size", self.db_size.to_json()),
+            ("cache_size", self.cache_size.to_json()),
+            ("mc_think_time", self.mc_think_time.to_json()),
+            ("think_time_ratio", self.think_time_ratio.to_json()),
+            ("steady_state_perc", self.steady_state_perc.to_json()),
+            ("noise", self.noise.to_json()),
+            ("zipf_theta", self.zipf_theta.to_json()),
+            ("disk_sizes", self.disk_sizes.to_json()),
+            ("rel_freqs", self.rel_freqs.to_json()),
+            ("offset", self.offset.to_json()),
+            ("server_queue_size", self.server_queue_size.to_json()),
+            ("pull_bw", self.pull_bw.to_json()),
+            ("thres_perc", self.thres_perc.to_json()),
+            ("chop", self.chop.to_json()),
+            ("algorithm", self.algorithm.to_json()),
+            ("mc_cache_policy", self.mc_cache_policy.to_json()),
+            ("queue_discipline", self.queue_discipline.to_json()),
+            ("mc_prefetch", self.mc_prefetch.to_json()),
+            ("update_rate", self.update_rate.to_json()),
+            (
+                "update_access_correlation",
+                self.update_access_correlation.to_json(),
+            ),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SystemConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SystemConfig {
+            db_size: field(v, "db_size")?,
+            cache_size: field(v, "cache_size")?,
+            mc_think_time: field(v, "mc_think_time")?,
+            think_time_ratio: field(v, "think_time_ratio")?,
+            steady_state_perc: field(v, "steady_state_perc")?,
+            noise: field(v, "noise")?,
+            zipf_theta: field(v, "zipf_theta")?,
+            disk_sizes: field(v, "disk_sizes")?,
+            rel_freqs: field(v, "rel_freqs")?,
+            offset: field(v, "offset")?,
+            server_queue_size: field(v, "server_queue_size")?,
+            pull_bw: field(v, "pull_bw")?,
+            thres_perc: field(v, "thres_perc")?,
+            chop: field(v, "chop")?,
+            algorithm: field(v, "algorithm")?,
+            mc_cache_policy: field(v, "mc_cache_policy")?,
+            queue_discipline: field(v, "queue_discipline")?,
+            mc_prefetch: field(v, "mc_prefetch")?,
+            update_rate: field(v, "update_rate")?,
+            update_access_correlation: field(v, "update_access_correlation")?,
+            seed: field(v, "seed")?,
+        })
+    }
+}
+
 /// Measurement protocol for steady-state runs (§4: cache warm-up is
 /// excluded, 4000 accesses are skipped, then the run continues "until the
 /// response time stabilized").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasurementProtocol {
     /// MC accesses discarded after the cache first fills.
     pub skip_accesses: u64,
@@ -289,6 +430,34 @@ impl MeasurementProtocol {
             max_warmup_accesses: 2_000,
             max_sim_time: 5.0e6,
         }
+    }
+}
+
+impl ToJson for MeasurementProtocol {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("skip_accesses", self.skip_accesses.to_json()),
+            ("batch_size", self.batch_size.to_json()),
+            ("rel_precision", self.rel_precision.to_json()),
+            ("min_batches", self.min_batches.to_json()),
+            ("max_accesses", self.max_accesses.to_json()),
+            ("max_warmup_accesses", self.max_warmup_accesses.to_json()),
+            ("max_sim_time", self.max_sim_time.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MeasurementProtocol {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MeasurementProtocol {
+            skip_accesses: field(v, "skip_accesses")?,
+            batch_size: field(v, "batch_size")?,
+            rel_precision: field(v, "rel_precision")?,
+            min_batches: field(v, "min_batches")?,
+            max_accesses: field(v, "max_accesses")?,
+            max_warmup_accesses: field(v, "max_warmup_accesses")?,
+            max_sim_time: field(v, "max_sim_time")?,
+        })
     }
 }
 
@@ -351,8 +520,61 @@ mod tests {
     #[test]
     fn config_round_trips_through_json() {
         let c = SystemConfig::paper_default();
-        let s = serde_json::to_string(&c).unwrap();
-        let back: SystemConfig = serde_json::from_str(&s).unwrap();
+        let s = bpp_json::to_string(&c);
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn every_enum_variant_round_trips_through_json() {
+        // Cover each variant of each enum field, the optional policy in
+        // both states, and a max-range seed (u64::MAX needs the writer's
+        // full integer width).
+        let mut variants = Vec::new();
+        for algorithm in [Algorithm::PurePush, Algorithm::PurePull, Algorithm::Ipp] {
+            for policy in [
+                None,
+                Some(CachePolicy::Pix),
+                Some(CachePolicy::P),
+                Some(CachePolicy::Lru),
+                Some(CachePolicy::Lfu),
+            ] {
+                for discipline in [QueueDiscipline::Fifo, QueueDiscipline::MostRequested] {
+                    let mut c = SystemConfig::small();
+                    c.algorithm = algorithm;
+                    c.mc_cache_policy = policy;
+                    c.queue_discipline = discipline;
+                    c.seed = u64::MAX;
+                    variants.push(c);
+                }
+            }
+        }
+        for c in variants {
+            let s = bpp_json::to_string_pretty(&c);
+            let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+            assert_eq!(c, back, "variant did not survive the trip: {s}");
+        }
+    }
+
+    #[test]
+    fn protocol_round_trips_through_json() {
+        for p in [MeasurementProtocol::paper(), MeasurementProtocol::quick()] {
+            let s = bpp_json::to_string(&p);
+            let back: MeasurementProtocol = bpp_json::from_str(&s).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+
+    #[test]
+    fn unknown_enum_variant_is_rejected() {
+        let mut v = SystemConfig::paper_default().to_json();
+        if let Json::Obj(members) = &mut v {
+            for (k, val) in members.iter_mut() {
+                if k == "algorithm" {
+                    *val = Json::Str("Hybrid".to_string());
+                }
+            }
+        }
+        assert!(SystemConfig::from_json(&v).is_err());
     }
 }

@@ -52,10 +52,7 @@ pub struct Figure {
 
 /// Run `configs` on `available_parallelism` worker threads, preserving
 /// order. Deterministic: each config carries its own seed.
-pub fn par_run(
-    configs: &[SystemConfig],
-    proto: &MeasurementProtocol,
-) -> Vec<SteadyStateResult> {
+pub fn par_run(configs: &[SystemConfig], proto: &MeasurementProtocol) -> Vec<SteadyStateResult> {
     let n = configs.len();
     let results: Mutex<Vec<Option<SteadyStateResult>>> = Mutex::new(vec![None; n]);
     let next = AtomicUsize::new(0);
@@ -355,7 +352,12 @@ pub fn fig6(base: &SystemConfig, proto: &MeasurementProtocol, pull_bw: f64) -> F
         ));
     }
     Figure {
-        id: if (pull_bw - 0.5).abs() < 1e-9 { "6a" } else { "6b" }.into(),
+        id: if (pull_bw - 0.5).abs() < 1e-9 {
+            "6a"
+        } else {
+            "6b"
+        }
+        .into(),
         title: format!(
             "Influence of threshold on response time, PullBW = {:.0}%",
             pull_bw * 100.0
@@ -452,13 +454,20 @@ pub fn fig8(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
         } else {
             format!("IPP -{chop}")
         };
-        series.push(sweep_ttr(base, proto, &TTR_GRID, &label, 92 + k as u64, move |c| {
-            c.algorithm = Algorithm::Ipp;
-            c.pull_bw = 0.3;
-            c.thres_perc = 0.35;
-            c.steady_state_perc = 0.95;
-            c.chop = chop;
-        }));
+        series.push(sweep_ttr(
+            base,
+            proto,
+            &TTR_GRID,
+            &label,
+            92 + k as u64,
+            move |c| {
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = 0.3;
+                c.thres_perc = 0.35;
+                c.steady_state_perc = 0.95;
+                c.chop = chop;
+            },
+        ));
     }
     Figure {
         id: "8".into(),

@@ -77,7 +77,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| field(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -2,11 +2,11 @@
 
 use crate::config::{MeasurementProtocol, SystemConfig};
 use crate::simulation::{Phase, SlotAccounting, World};
+use bpp_json::{Json, ToJson};
 use bpp_sim::Confidence;
-use serde::Serialize;
 
 /// Result of a steady-state run (the metric of Figures 3, 5, 6, 7, 8).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SteadyStateResult {
     /// Mean MC response time in broadcast units (cache hits count as 0,
     /// exactly as in the paper's "average response time of requests").
@@ -43,7 +43,7 @@ pub struct SteadyStateResult {
 }
 
 /// Serializable mirror of [`SlotAccounting`].
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SlotKinds {
     /// Push slots carrying a page.
     pub push_pages: u64,
@@ -66,8 +66,40 @@ impl From<SlotAccounting> for SlotKinds {
     }
 }
 
+impl ToJson for SlotKinds {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("push_pages", self.push_pages.to_json()),
+            ("pull_pages", self.pull_pages.to_json()),
+            ("empty", self.empty.to_json()),
+            ("idle", self.idle.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SteadyStateResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("mean_response", self.mean_response.to_json()),
+            ("ci_half_width", self.ci_half_width.to_json()),
+            ("measured_accesses", self.measured_accesses.to_json()),
+            ("converged", self.converged.to_json()),
+            ("mc_hit_rate", self.mc_hit_rate.to_json()),
+            ("drop_rate", self.drop_rate.to_json()),
+            ("ignore_rate", self.ignore_rate.to_json()),
+            ("requests_received", self.requests_received.to_json()),
+            ("p50_response", self.p50_response.to_json()),
+            ("p90_response", self.p90_response.to_json()),
+            ("p99_response", self.p99_response.to_json()),
+            ("max_response", self.max_response.to_json()),
+            ("slots", self.slots.to_json()),
+            ("sim_time", self.sim_time.to_json()),
+        ])
+    }
+}
+
 /// Result of a warm-up (Figure 4) run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WarmupResult {
     /// Milestone fractions (10%, ..., 95% of the ideal cache content).
     pub fractions: Vec<f64>,
@@ -76,6 +108,16 @@ pub struct WarmupResult {
     pub times: Vec<Option<f64>>,
     /// Total simulated time.
     pub sim_time: f64,
+}
+
+impl ToJson for WarmupResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("fractions", self.fractions.to_json()),
+            ("times", self.times.to_json()),
+            ("sim_time", self.sim_time.to_json()),
+        ])
+    }
 }
 
 /// Run the steady-state protocol: fill the MC cache, skip the configured

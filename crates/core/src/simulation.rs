@@ -33,10 +33,11 @@ use bpp_client::{
     BeginOutcome, MeasuredClient, ThresholdFilter, VcAccess, VirtualClient, WarmupTracker,
 };
 use bpp_server::{BandwidthMux, Discipline, QueueStats, RequestQueue, SlotDecision};
-use bpp_sim::{stream_rng, BatchMeans, Confidence, Engine, Histogram, Model, Scheduler, Time, Welford};
+use bpp_sim::{
+    stream_rng, BatchMeans, Confidence, Engine, Histogram, Model, Rng, Scheduler, Time, Welford,
+    Xoshiro256pp,
+};
 use bpp_workload::{AccessPattern, NoisePermutation, ThinkTime, Zipf};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// RNG stream labels (stable across versions: changing one component's draw
 /// count must not perturb the others).
@@ -112,7 +113,7 @@ struct UpdateProcess {
     correlation: f64,
     next_at: Time,
     sampler: bpp_workload::AliasTable,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     /// Total updates applied.
     count: u64,
     /// Updates that invalidated an MC-cached page.
@@ -153,9 +154,9 @@ pub struct World {
     has_backchannel: bool,
     prefetch: bool,
     updates: Option<UpdateProcess>,
-    rng_mux: SmallRng,
-    rng_mc: SmallRng,
-    rng_vc: SmallRng,
+    rng_mux: Xoshiro256pp,
+    rng_mc: Xoshiro256pp,
+    rng_vc: Xoshiro256pp,
     protocol: MeasurementProtocol,
     phase: Phase,
     skip_left: u64,
@@ -558,10 +559,8 @@ impl Model for World {
                     if let Some((bw, thres)) = ctrl.on_slot(self.queue.stats()) {
                         self.mux.set_pull_bw(bw);
                         if self.program.major_cycle() > 0 {
-                            let f = ThresholdFilter::from_percentage(
-                                thres,
-                                self.program.major_cycle(),
-                            );
+                            let f =
+                                ThresholdFilter::from_percentage(thres, self.program.major_cycle());
                             self.mc.set_threshold(f);
                             self.vc_threshold = f;
                         }
@@ -640,7 +639,11 @@ mod tests {
         assert!(w.slots().push_pages > 0, "IPP must push");
         assert!(w.slots().pull_pages > 0, "IPP must pull");
         // PullBW bounds the pull share (with slack for the bounded run).
-        assert!(w.slots().pull_fraction() <= 0.55, "{}", w.slots().pull_fraction());
+        assert!(
+            w.slots().pull_fraction() <= 0.55,
+            "{}",
+            w.slots().pull_fraction()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! thus, PullBW is only an upper limit on the bandwidth used to satisfy
 //! backchannel requests."
 
-use rand::Rng;
+use bpp_sim::rng::Rng;
 
 /// What the next broadcast slot should carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,13 +63,12 @@ impl BandwidthMux {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use bpp_sim::rng::Xoshiro256pp;
 
     #[test]
     fn empty_queue_always_pushes() {
         let mux = BandwidthMux::new(1.0);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..100 {
             assert_eq!(mux.decide(true, &mut rng), SlotDecision::ContinuePush);
         }
@@ -78,7 +77,7 @@ mod tests {
     #[test]
     fn zero_pull_bw_never_pulls() {
         let mux = BandwidthMux::new(0.0);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for _ in 0..100 {
             assert_eq!(mux.decide(false, &mut rng), SlotDecision::ContinuePush);
         }
@@ -87,7 +86,7 @@ mod tests {
     #[test]
     fn full_pull_bw_always_pulls_when_backlogged() {
         let mux = BandwidthMux::new(1.0);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         for _ in 0..100 {
             assert_eq!(mux.decide(false, &mut rng), SlotDecision::ServePull);
         }
@@ -96,7 +95,7 @@ mod tests {
     #[test]
     fn coin_respects_the_bound_empirically() {
         let mux = BandwidthMux::new(0.3);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let n = 200_000;
         let pulls = (0..n)
             .filter(|_| mux.decide(false, &mut rng) == SlotDecision::ServePull)
@@ -109,7 +108,7 @@ mod tests {
     fn set_pull_bw_takes_effect() {
         let mut mux = BandwidthMux::new(0.0);
         mux.set_pull_bw(1.0);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         assert_eq!(mux.decide(false, &mut rng), SlotDecision::ServePull);
     }
 

@@ -58,5 +58,5 @@ pub mod rng;
 pub mod stats;
 
 pub use engine::{Engine, EventId, Model, Scheduler, Time};
-pub use rng::{stream_rng, SeedSeq};
+pub use rng::{stream_rng, Rng, Sample, SeedSeq, Xoshiro256pp};
 pub use stats::{autocorrelation, BatchMeans, Confidence, Histogram, TimeWeighted, Welford};

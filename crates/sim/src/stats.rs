@@ -438,7 +438,9 @@ mod tests {
         let mut bm = BatchMeans::new(50);
         let mut x = 0x12345u64;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 11) as f64 / (1u64 << 53) as f64;
             bm.record(10.0 + (u - 0.5));
         }
@@ -476,7 +478,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
         assert!(autocorrelation(&xs, 2) > 0.9);
     }
@@ -486,7 +490,9 @@ mod tests {
         let mut x = 0x9E3779B97F4A7C15u64;
         let xs: Vec<f64> = (0..5000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect();

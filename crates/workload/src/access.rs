@@ -6,7 +6,7 @@
 //! `Zipf ∘ NoisePermutation`, diverging from the program as `Noise` grows.
 
 use crate::{AliasTable, NoisePermutation, Zipf};
-use rand::Rng;
+use bpp_sim::rng::Rng;
 
 /// A sampleable access pattern over items `0..n` with known per-item
 /// probabilities (needed by the cost-based cache policies).
@@ -77,15 +77,16 @@ impl AccessPattern {
 
     /// The `k` most popular items under this pattern, hottest first.
     pub fn top_items(&self, k: usize) -> Vec<usize> {
-        (0..k.min(self.len())).map(|r| self.perm.item_at_rank(r)).collect()
+        (0..k.min(self.len()))
+            .map(|r| self.perm.item_at_rank(r))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use bpp_sim::rng::Xoshiro256pp;
 
     #[test]
     fn population_pattern_matches_zipf_directly() {
@@ -100,7 +101,7 @@ mod tests {
     #[test]
     fn permuted_pattern_moves_mass_with_items() {
         let z = Zipf::new(10, 1.0);
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let perm = NoisePermutation::new(10, 1.0, &mut rng);
         let p = AccessPattern::new(&z, perm);
         // Hottest item must carry the rank-0 probability wherever it moved.
@@ -113,7 +114,7 @@ mod tests {
     #[test]
     fn sampling_frequency_tracks_item_probability() {
         let z = Zipf::new(50, 0.95);
-        let mut rng = SmallRng::seed_from_u64(8);
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
         let perm = NoisePermutation::new(50, 0.35, &mut rng);
         let p = AccessPattern::new(&z, perm);
         let mut counts = vec![0usize; 50];

@@ -5,7 +5,7 @@
 //! per broadcast unit — at the paper's heaviest load that is 12.5 draws per
 //! simulated unit over millions of units, so constant-time sampling matters.
 
-use rand::Rng;
+use bpp_sim::rng::Rng;
 
 /// Preprocessed alias table for a discrete distribution over `0..n`.
 #[derive(Debug, Clone)]
@@ -93,12 +93,11 @@ impl AliasTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use bpp_sim::rng::Xoshiro256pp;
 
     fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
         let t = AliasTable::new(weights);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut counts = vec![0usize; weights.len()];
         for _ in 0..draws {
             counts[t.sample(&mut rng)] += 1;
@@ -132,7 +131,7 @@ mod tests {
     #[test]
     fn single_outcome_always_wins() {
         let t = AliasTable::new(&[3.5]);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         for _ in 0..100 {
             assert_eq!(t.sample(&mut rng), 0);
         }
@@ -143,7 +142,7 @@ mod tests {
         // Even rank 999 of Zipf(0.95, 1000) must occasionally appear.
         let z = crate::Zipf::new(1000, 0.95);
         let t = AliasTable::new(z.probs());
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let mut saw_tail = false;
         for _ in 0..2_000_000 {
             if t.sample(&mut rng) >= 990 {

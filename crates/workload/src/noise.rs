@@ -10,7 +10,7 @@
 //! larger values scramble progressively more of the mapping, so the pages
 //! the MC wants are no longer the ones the program favours.
 
-use rand::Rng;
+use bpp_sim::rng::Rng;
 
 /// A rank → item permutation produced by the noise process.
 #[derive(Debug, Clone)]
@@ -97,8 +97,7 @@ impl NoisePermutation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use bpp_sim::rng::Xoshiro256pp;
 
     #[test]
     fn identity_maps_rank_to_itself() {
@@ -112,14 +111,14 @@ mod tests {
 
     #[test]
     fn zero_noise_is_identity() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let p = NoisePermutation::new(50, 0.0, &mut rng);
         assert_eq!(p.displacement(), 0.0);
     }
 
     #[test]
     fn result_is_a_permutation() {
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for &noise in &[0.15, 0.35, 1.0] {
             let p = NoisePermutation::new(1000, noise, &mut rng);
             let mut seen = vec![false; 1000];
@@ -133,7 +132,7 @@ mod tests {
 
     #[test]
     fn inverse_is_consistent() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let p = NoisePermutation::new(500, 0.35, &mut rng);
         for r in 0..500 {
             assert_eq!(p.rank_of_item(p.item_at_rank(r)), r);
@@ -142,7 +141,7 @@ mod tests {
 
     #[test]
     fn displacement_grows_with_noise() {
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let d15 = NoisePermutation::new(1000, 0.15, &mut rng).displacement();
         let d35 = NoisePermutation::new(1000, 0.35, &mut rng).displacement();
         assert!(d15 > 0.1, "noise 15% moved only {d15}");
@@ -151,7 +150,7 @@ mod tests {
 
     #[test]
     fn tiny_domains_are_safe() {
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let p1 = NoisePermutation::new(1, 0.5, &mut rng);
         assert_eq!(p1.item_at_rank(0), 0);
         let p2 = NoisePermutation::new(2, 1.0, &mut rng);

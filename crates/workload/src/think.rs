@@ -7,7 +7,7 @@
 //! `MC_ThinkTime / ThinkTimeRatio`, so the aggregate arrival process is
 //! Poisson-like with intensity proportional to the modelled population.
 
-use rand::Rng;
+use bpp_sim::rng::Rng;
 
 /// A think-time distribution, sampled in broadcast units.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,12 +46,11 @@ impl ThinkTime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use bpp_sim::rng::Xoshiro256pp;
 
     #[test]
     fn fixed_is_constant() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let t = ThinkTime::Fixed(20.0);
         for _ in 0..10 {
             assert_eq!(t.sample(&mut rng), 20.0);
@@ -61,7 +60,7 @@ mod tests {
 
     #[test]
     fn exponential_mean_matches() {
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let t = ThinkTime::Exponential { mean: 0.08 };
         let n = 200_000;
         let sum: f64 = (0..n).map(|_| t.sample(&mut rng)).sum();
@@ -71,7 +70,7 @@ mod tests {
 
     #[test]
     fn exponential_samples_are_positive_and_finite() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let t = ThinkTime::Exponential { mean: 1.0 };
         for _ in 0..100_000 {
             let x = t.sample(&mut rng);
@@ -82,11 +81,14 @@ mod tests {
     #[test]
     fn exponential_is_memorylessly_skewed() {
         // Median of Exp(mean) is mean*ln2 < mean: check the empirical median.
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let t = ThinkTime::Exponential { mean: 10.0 };
         let mut xs: Vec<f64> = (0..10_001).map(|_| t.sample(&mut rng)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[5000];
-        assert!((median - 10.0 * std::f64::consts::LN_2).abs() < 0.4, "median {median}");
+        assert!(
+            (median - 10.0 * std::f64::consts::LN_2).abs() < 0.4,
+            "median {median}"
+        );
     }
 }

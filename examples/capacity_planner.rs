@@ -35,8 +35,7 @@ fn main() {
     );
     // Baseline capacity (Thres=0) per PullBW, so the ratio isolates the
     // threshold's contribution — the paper's "factor of 2-3" claim.
-    let mut baseline_for_bw: std::collections::HashMap<u32, f64> =
-        std::collections::HashMap::new();
+    let mut baseline_for_bw: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
     for (label, pull_bw, thres) in [
         ("PullBW 50%, Thres 0%", 0.5, 0.0),
         ("PullBW 50%, Thres 25%", 0.5, 0.25),

@@ -5,8 +5,8 @@
 //! cargo run --release -p bpp-core --example quickstart
 //! ```
 
-use bpp_core::{run_steady_state, Algorithm, MeasurementProtocol, SystemConfig};
 use bpp_broadcast::{assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, Slot};
+use bpp_core::{run_steady_state, Algorithm, MeasurementProtocol, SystemConfig};
 
 fn main() {
     // --- The Figure-1 example: seven pages a..g on three disks. ---
@@ -14,7 +14,10 @@ fn main() {
     let assignment = Assignment::from_ranking(&identity_ranking(7), &spec);
     let program = BroadcastProgram::generate(&assignment, 7);
     let names = ["a", "b", "c", "d", "e", "f", "g"];
-    println!("Figure 1 broadcast program (major cycle = {} slots):", program.major_cycle());
+    println!(
+        "Figure 1 broadcast program (major cycle = {} slots):",
+        program.major_cycle()
+    );
     let rendered: Vec<&str> = program
         .slots()
         .iter()

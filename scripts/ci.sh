@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Full offline CI gate: build, test, lint, format.
+#
+# `--frozen` forbids both network access and lockfile changes, proving the
+# workspace builds with zero external dependencies from a cold checkout.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --frozen
+cargo test -q --frozen
+cargo clippy --all-targets --frozen -- -D warnings
+cargo fmt --check
+
+echo "ci: all checks passed"

@@ -3,9 +3,7 @@
 
 use bpp_core::adaptive::{run_adaptive, AdaptiveConfig};
 use bpp_core::experiments::par_run;
-use bpp_core::{
-    run_steady_state, run_warmup, Algorithm, MeasurementProtocol, SystemConfig,
-};
+use bpp_core::{run_steady_state, run_warmup, Algorithm, MeasurementProtocol, SystemConfig};
 
 fn cfg(algo: Algorithm, seed: u64) -> SystemConfig {
     let mut c = SystemConfig::small();
@@ -69,9 +67,26 @@ fn parallel_and_sequential_execution_agree() {
 fn results_serialize_to_json() {
     let proto = MeasurementProtocol::quick();
     let r = run_steady_state(&cfg(Algorithm::Ipp, 30), &proto);
-    let json = serde_json::to_string_pretty(&r).expect("serializable");
+    let json = bpp_json::to_string_pretty(&r);
     assert!(json.contains("mean_response"));
     assert!(json.contains("drop_rate"));
+}
+
+#[test]
+fn steady_state_results_are_bitwise_identical() {
+    // Stronger than comparing a few fields: the full serialized result —
+    // every metric, every quantile, every slot counter — must match bit
+    // for bit across two runs of the same config + seed.
+    let proto = MeasurementProtocol::quick();
+    for algo in [Algorithm::PurePush, Algorithm::PurePull, Algorithm::Ipp] {
+        let a = run_steady_state(&cfg(algo, 7), &proto);
+        let b = run_steady_state(&cfg(algo, 7), &proto);
+        assert_eq!(
+            bpp_json::to_string(&a),
+            bpp_json::to_string(&b),
+            "{algo:?} differs between identical runs"
+        );
+    }
 }
 
 #[test]

@@ -127,7 +127,11 @@ fn percentiles_are_ordered() {
         r.p99_response.unwrap(),
     );
     assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
-    assert!(p99 <= r.max_response + 4.0, "p99 {p99} vs max {}", r.max_response);
+    assert!(
+        p99 <= r.max_response + 4.0,
+        "p99 {p99} vs max {}",
+        r.max_response
+    );
 }
 
 #[test]

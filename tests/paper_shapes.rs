@@ -81,7 +81,11 @@ fn moderate_load_ipp_loses_to_pure_pull() {
 fn drop_rate_grows_with_load() {
     let lo = run_steady_state(&paper(Algorithm::PurePull, 10.0), &proto());
     let hi = run_steady_state(&paper(Algorithm::PurePull, 250.0), &proto());
-    assert!(lo.ignore_rate < 0.10, "light load ignores {}", lo.ignore_rate);
+    assert!(
+        lo.ignore_rate < 0.10,
+        "light load ignores {}",
+        lo.ignore_rate
+    );
     assert!(hi.drop_rate > 0.30, "heavy load drops {}", hi.drop_rate);
 }
 
