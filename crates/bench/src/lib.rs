@@ -225,6 +225,8 @@ mod tests {
                 idle: 0,
             },
             sim_time: 100.0,
+            fault: None,
+            error: None,
         }
     }
 

@@ -21,11 +21,13 @@
 //! content — Figure 4's metric).
 
 pub mod measured;
+pub mod retry;
 pub mod threshold;
 pub mod virtual_client;
 pub mod warmup;
 
 pub use measured::{BeginOutcome, McStats, MeasuredClient};
+pub use retry::{RetryPolicy, RetryState};
 pub use threshold::ThresholdFilter;
 pub use virtual_client::{VcAccess, VirtualClient};
 pub use warmup::WarmupTracker;

@@ -13,7 +13,7 @@
 //! moves both knobs back toward their aggressive settings.
 
 use crate::config::{MeasurementProtocol, SystemConfig};
-use crate::runner::{SlotKinds, SteadyStateResult};
+use crate::runner::SteadyStateResult;
 use crate::simulation::World;
 use bpp_json::{field, FromJson, Json, JsonError, ToJson};
 use bpp_server::QueueStats;
@@ -206,37 +206,14 @@ pub fn run_adaptive(
     let mut engine = world.into_engine();
     engine.run_while(|w| !w.done());
     let w = engine.model();
-    let q = w.measured_queue_stats();
     let bm = w.responses();
     let ctrl = w.adaptive().expect("adaptive enabled");
+    let converged = bm.converged(Confidence::P95, proto.rel_precision, proto.min_batches);
     AdaptiveResult {
-        steady: SteadyStateResult {
-            mean_response: bm.mean(),
-            ci_half_width: if bm.completed_batches() >= 2 {
-                bm.half_width(Confidence::P95)
-            } else {
-                f64::INFINITY
-            },
-            measured_accesses: bm.count(),
-            converged: bm.converged(Confidence::P95, proto.rel_precision, proto.min_batches),
-            mc_hit_rate: w.mc().cache().stats().hit_rate(),
-            drop_rate: q.drop_rate(),
-            ignore_rate: q.ignore_rate(),
-            requests_received: q.received,
-            p50_response: w.response_dist().quantile(0.5),
-            p90_response: w.response_dist().quantile(0.9),
-            p99_response: w.response_dist().quantile(0.99),
-            max_response: if w.response_spread().count() > 0 {
-                w.response_spread().max()
-            } else {
-                0.0
-            },
-            slots: SlotKinds::from(*w.slots()),
-            sim_time: engine.now(),
-        },
         final_pull_bw: ctrl.pull_bw(),
         final_thres_perc: ctrl.thres_perc(),
         adjustments: ctrl.adjustments(),
+        steady: crate::runner::collect_steady_state(w, engine.now(), converged),
     }
 }
 

@@ -1,6 +1,10 @@
-//! System configuration — Tables 1, 2 and 3 of the paper.
+//! System configuration — Tables 1, 2 and 3 of the paper, plus the fault
+//! model (lossy channels, brownouts, retry/degradation policies) layered on
+//! top for the robustness extension.
 
-use bpp_json::{field, FromJson, Json, JsonError, ToJson};
+use bpp_client::RetryPolicy;
+use bpp_json::{field, opt_field, FromJson, Json, JsonError, ToJson};
+use bpp_server::{OverflowPolicy, SaturationPolicy};
 
 /// The three data-delivery algorithms compared in the paper (§2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +129,298 @@ impl FromJson for QueueDiscipline {
     }
 }
 
+/// The deterministic unreliability model layered over the paper's perfect
+/// channels.
+///
+/// All four failure mechanisms are independent and individually zeroable:
+///
+/// * `broadcast_loss` — each page-carrying slot is corrupted/lost for *all*
+///   listeners with this probability (one coin per slot on the
+///   `FAULT_LOSS` RNG stream);
+/// * `request_loss` — each backchannel request vanishes in transit with
+///   this probability (one coin per send on the `FAULT_REQ` stream);
+/// * brownouts — a deterministic periodic window (`brownout_duration` out
+///   of every `brownout_period` broadcast units, starting at time 0)
+///   during which the server discards every arriving request;
+/// * `overflow` / `retry` / `degrade` — how the queue, the client, and the
+///   multiplexer *respond* to the above.
+///
+/// [`FaultConfig::none`] (the default) disables everything; the simulation
+/// then constructs no fault state, draws from no fault streams, and is
+/// bitwise-identical to a build without the fault layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a page-carrying broadcast slot is lost (`[0,1]`).
+    pub broadcast_loss: f64,
+    /// Probability that a backchannel request is dropped in transit
+    /// (`[0,1]`).
+    pub request_loss: f64,
+    /// Brownout cycle length in broadcast units; `0` disables brownouts.
+    pub brownout_period: f64,
+    /// Portion at the start of each cycle during which the server drops
+    /// all arriving requests. Must be `<= brownout_period`.
+    pub brownout_duration: f64,
+    /// What the server queue does with a new page at capacity.
+    pub overflow: OverflowPolicy,
+    /// Client-side timeout/backoff behavior for pull requests.
+    pub retry: RetryPolicy,
+    /// Server-side saturation detection / pull-bandwidth shedding.
+    pub degrade: SaturationPolicy,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+impl FaultConfig {
+    /// No faults: perfect channels, paper-faithful queue behavior, no
+    /// retries, no degradation. The strict no-op configuration.
+    pub fn none() -> Self {
+        FaultConfig {
+            broadcast_loss: 0.0,
+            request_loss: 0.0,
+            brownout_period: 0.0,
+            brownout_duration: 0.0,
+            overflow: OverflowPolicy::DropNewest,
+            retry: RetryPolicy::disabled(),
+            degrade: SaturationPolicy::disabled(),
+        }
+    }
+
+    /// A symmetric lossy-channel preset: both channels lose at rate
+    /// `loss`, clients retry with the standard backoff policy, and the
+    /// server degrades toward push-only under sustained queue pressure.
+    pub fn lossy(loss: f64) -> Self {
+        FaultConfig {
+            broadcast_loss: loss,
+            request_loss: loss,
+            retry: RetryPolicy::standard(),
+            degrade: SaturationPolicy::standard(),
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Whether any part of the fault model deviates from [`none`].
+    ///
+    /// [`none`]: FaultConfig::none
+    pub fn enabled(&self) -> bool {
+        *self != FaultConfig::none()
+    }
+
+    /// Whether brownout windows are configured.
+    pub fn has_brownouts(&self) -> bool {
+        self.brownout_period > 0.0 && self.brownout_duration > 0.0
+    }
+
+    /// True when `now` falls inside a brownout window.
+    pub fn in_brownout(&self, now: f64) -> bool {
+        self.has_brownouts() && now % self.brownout_period < self.brownout_duration
+    }
+}
+
+impl ToJson for FaultConfig {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("broadcast_loss", self.broadcast_loss.to_json()),
+            ("request_loss", self.request_loss.to_json()),
+            ("brownout_period", self.brownout_period.to_json()),
+            ("brownout_duration", self.brownout_duration.to_json()),
+            ("overflow", self.overflow.to_json()),
+            ("retry", self.retry.to_json()),
+            ("degrade", self.degrade.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FaultConfig {
+            broadcast_loss: field(v, "broadcast_loss")?,
+            request_loss: field(v, "request_loss")?,
+            brownout_period: field(v, "brownout_period")?,
+            brownout_duration: field(v, "brownout_duration")?,
+            overflow: field(v, "overflow")?,
+            retry: field(v, "retry")?,
+            degrade: field(v, "degrade")?,
+        })
+    }
+}
+
+/// One violated constraint in a [`SystemConfig`].
+///
+/// [`SystemConfig::validate`] reports *every* violation at once (as a
+/// [`ConfigErrors`]) rather than panicking at the first, so a sweep driver
+/// or config-file user sees the complete damage in one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `db_size` is zero.
+    EmptyDatabase,
+    /// `disk_sizes` is empty — the broadcast program needs at least one
+    /// disk.
+    NoDisks,
+    /// The disk sizes do not sum to the database size.
+    DiskSizeSum {
+        /// The configured per-disk page counts.
+        disk_sizes: Vec<usize>,
+        /// The configured database size they should sum to.
+        db_size: usize,
+    },
+    /// `disk_sizes` and `rel_freqs` have different lengths.
+    DiskFreqArity {
+        /// Number of disks.
+        disks: usize,
+        /// Number of relative frequencies.
+        freqs: usize,
+    },
+    /// The client cache is larger than the database.
+    CacheTooLarge {
+        /// The configured cache size.
+        cache_size: usize,
+        /// The database size it must not exceed.
+        db_size: usize,
+    },
+    /// `mc_think_time` is not strictly positive.
+    NonPositiveThinkTime(
+        /// The offending value.
+        f64,
+    ),
+    /// `think_time_ratio` is not strictly positive.
+    NonPositiveThinkTimeRatio(
+        /// The offending value.
+        f64,
+    ),
+    /// `update_rate` is negative or non-finite.
+    InvalidUpdateRate(
+        /// The offending value.
+        f64,
+    ),
+    /// A fractional parameter fell outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Which config field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `chop` exceeds the database size.
+    ChopTooLarge {
+        /// The configured chop count.
+        chop: usize,
+        /// The database size it must not exceed.
+        db_size: usize,
+    },
+    /// The Offset transform requires the cache to fit in the slowest disk.
+    OffsetCacheTooLarge {
+        /// The configured cache size.
+        cache_size: usize,
+        /// The slowest disk's page count.
+        slowest: usize,
+    },
+    /// A brownout window parameter is negative or non-finite.
+    InvalidBrownout {
+        /// Which brownout field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `brownout_duration` exceeds `brownout_period`.
+    BrownoutDurationExceedsPeriod {
+        /// The configured window length.
+        duration: f64,
+        /// The cycle it must fit inside.
+        period: f64,
+    },
+    /// The retry policy is malformed (message from
+    /// `RetryPolicy::validate`).
+    InvalidRetry(
+        /// The underlying description.
+        String,
+    ),
+    /// The degradation policy is malformed (message from
+    /// `SaturationPolicy::validate`).
+    InvalidDegrade(
+        /// The underlying description.
+        String,
+    ),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyDatabase => write!(f, "db_size must be positive"),
+            ConfigError::NoDisks => write!(f, "at least one broadcast disk is required"),
+            ConfigError::DiskSizeSum {
+                disk_sizes,
+                db_size,
+            } => write!(f, "disk sizes {disk_sizes:?} must sum to db_size {db_size}"),
+            ConfigError::DiskFreqArity { disks, freqs } => write!(
+                f,
+                "one frequency per disk ({disks} disks, {freqs} frequencies)"
+            ),
+            ConfigError::CacheTooLarge {
+                cache_size,
+                db_size,
+            } => write!(f, "cache larger than database ({cache_size} > {db_size})"),
+            ConfigError::NonPositiveThinkTime(v) => {
+                write!(f, "think time must be positive, got {v}")
+            }
+            ConfigError::NonPositiveThinkTimeRatio(v) => {
+                write!(f, "ThinkTimeRatio must be positive, got {v}")
+            }
+            ConfigError::InvalidUpdateRate(v) => {
+                write!(f, "update_rate must be finite and >= 0, got {v}")
+            }
+            ConfigError::FractionOutOfRange { field, value } => {
+                write!(f, "{field} must be in [0,1], got {value}")
+            }
+            ConfigError::ChopTooLarge { chop, db_size } => {
+                write!(f, "cannot chop more than the database ({chop} > {db_size})")
+            }
+            ConfigError::OffsetCacheTooLarge {
+                cache_size,
+                slowest,
+            } => write!(
+                f,
+                "offset requires cache_size <= slowest disk size ({cache_size} > {slowest})"
+            ),
+            ConfigError::InvalidBrownout { field, value } => {
+                write!(f, "{field} must be finite and >= 0, got {value}")
+            }
+            ConfigError::BrownoutDurationExceedsPeriod { duration, period } => write!(
+                f,
+                "brownout_duration {duration} exceeds brownout_period {period}"
+            ),
+            ConfigError::InvalidRetry(msg) | ConfigError::InvalidDegrade(msg) => {
+                write!(f, "{msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Every constraint a [`SystemConfig`] violated, in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigErrors(
+    /// The individual violations (never empty when returned).
+    pub Vec<ConfigError>,
+);
+
+impl std::fmt::Display for ConfigErrors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ConfigErrors {}
+
 /// Full parameterisation of one simulated system.
 ///
 /// Defaults ([`SystemConfig::paper_default`]) reproduce Table 3. All
@@ -186,6 +482,9 @@ pub struct SystemConfig {
     pub update_access_correlation: f64,
     /// Root seed for every random stream in the run.
     pub seed: u64,
+    /// The unreliability model (robustness extension; the paper's perfect
+    /// channels are [`FaultConfig::none`], the default).
+    pub fault: FaultConfig,
 }
 
 impl SystemConfig {
@@ -215,6 +514,7 @@ impl SystemConfig {
             update_rate: 0.0,
             update_access_correlation: 1.0,
             seed: 0x5EED_B0DC,
+            fault: FaultConfig::none(),
         }
     }
 
@@ -272,60 +572,114 @@ impl SystemConfig {
         self.mc_think_time / self.think_time_ratio
     }
 
-    /// Validate ranges and cross-field constraints, panicking with a clear
-    /// message on violation. Called by the runner before building a world.
-    pub fn validate(&self) {
-        assert!(self.db_size > 0, "db_size must be positive");
-        assert!(
-            self.disk_sizes.iter().sum::<usize>() == self.db_size,
-            "disk sizes {:?} must sum to db_size {}",
-            self.disk_sizes,
-            self.db_size
-        );
-        assert_eq!(
-            self.disk_sizes.len(),
-            self.rel_freqs.len(),
-            "one frequency per disk"
-        );
-        assert!(
-            self.cache_size <= self.db_size,
-            "cache larger than database"
-        );
-        assert!(self.mc_think_time > 0.0, "think time must be positive");
-        assert!(
-            self.think_time_ratio > 0.0,
-            "ThinkTimeRatio must be positive"
-        );
-        assert!(
-            self.update_rate >= 0.0 && self.update_rate.is_finite(),
-            "update_rate must be finite and >= 0"
-        );
-        for (name, v) in [
+    /// Check every range and cross-field constraint, returning *all*
+    /// violations at once (a sweep driver or config-file user sees the
+    /// complete damage in one pass instead of fixing panics one by one).
+    pub fn validate(&self) -> Result<(), ConfigErrors> {
+        let mut errs = Vec::new();
+        if self.db_size == 0 {
+            errs.push(ConfigError::EmptyDatabase);
+        }
+        if self.disk_sizes.is_empty() {
+            errs.push(ConfigError::NoDisks);
+        } else if self.disk_sizes.iter().sum::<usize>() != self.db_size {
+            errs.push(ConfigError::DiskSizeSum {
+                disk_sizes: self.disk_sizes.clone(),
+                db_size: self.db_size,
+            });
+        }
+        if self.disk_sizes.len() != self.rel_freqs.len() {
+            errs.push(ConfigError::DiskFreqArity {
+                disks: self.disk_sizes.len(),
+                freqs: self.rel_freqs.len(),
+            });
+        }
+        if self.cache_size > self.db_size {
+            errs.push(ConfigError::CacheTooLarge {
+                cache_size: self.cache_size,
+                db_size: self.db_size,
+            });
+        }
+        if self.mc_think_time.is_nan() || self.mc_think_time <= 0.0 {
+            errs.push(ConfigError::NonPositiveThinkTime(self.mc_think_time));
+        }
+        if self.think_time_ratio.is_nan() || self.think_time_ratio <= 0.0 {
+            errs.push(ConfigError::NonPositiveThinkTimeRatio(
+                self.think_time_ratio,
+            ));
+        }
+        if !(self.update_rate >= 0.0 && self.update_rate.is_finite()) {
+            errs.push(ConfigError::InvalidUpdateRate(self.update_rate));
+        }
+        for (field, value) in [
             ("steady_state_perc", self.steady_state_perc),
             ("noise", self.noise),
             ("pull_bw", self.pull_bw),
             ("thres_perc", self.thres_perc),
             ("update_access_correlation", self.update_access_correlation),
+            ("fault.broadcast_loss", self.fault.broadcast_loss),
+            ("fault.request_loss", self.fault.request_loss),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+            if !(0.0..=1.0).contains(&value) {
+                errs.push(ConfigError::FractionOutOfRange { field, value });
+            }
         }
-        assert!(
-            self.chop <= self.db_size,
-            "cannot chop more than the database"
-        );
+        if self.chop > self.db_size {
+            errs.push(ConfigError::ChopTooLarge {
+                chop: self.chop,
+                db_size: self.db_size,
+            });
+        }
         if self.offset && self.algorithm != Algorithm::PurePull {
-            let slowest = *self.disk_sizes.last().expect("validated non-empty");
-            assert!(
-                self.cache_size <= slowest,
-                "offset requires cache_size <= slowest disk size"
-            );
+            if let Some(&slowest) = self.disk_sizes.last() {
+                if self.cache_size > slowest {
+                    errs.push(ConfigError::OffsetCacheTooLarge {
+                        cache_size: self.cache_size,
+                        slowest,
+                    });
+                }
+            }
+        }
+        for (field, value) in [
+            ("fault.brownout_period", self.fault.brownout_period),
+            ("fault.brownout_duration", self.fault.brownout_duration),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                errs.push(ConfigError::InvalidBrownout { field, value });
+            }
+        }
+        if self.fault.brownout_duration > self.fault.brownout_period {
+            errs.push(ConfigError::BrownoutDurationExceedsPeriod {
+                duration: self.fault.brownout_duration,
+                period: self.fault.brownout_period,
+            });
+        }
+        if let Err(msg) = self.fault.retry.validate() {
+            errs.push(ConfigError::InvalidRetry(msg));
+        }
+        if let Err(msg) = self.fault.degrade.validate() {
+            errs.push(ConfigError::InvalidDegrade(msg));
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(ConfigErrors(errs))
+        }
+    }
+
+    /// [`validate`](SystemConfig::validate), but panic with the joined
+    /// violation list. For internal call sites (e.g. `World::build`) whose
+    /// contract is "caller passes a valid config".
+    pub fn assert_valid(&self) {
+        if let Err(errs) = self.validate() {
+            panic!("invalid SystemConfig: {errs}");
         }
     }
 }
 
 impl ToJson for SystemConfig {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut obj = Json::object([
             ("db_size", self.db_size.to_json()),
             ("cache_size", self.cache_size.to_json()),
             ("mc_think_time", self.mc_think_time.to_json()),
@@ -350,7 +704,16 @@ impl ToJson for SystemConfig {
                 self.update_access_correlation.to_json(),
             ),
             ("seed", self.seed.to_json()),
-        ])
+        ]);
+        // The fault member is emitted only when the fault model deviates
+        // from none(): configs that don't use it serialize byte-for-byte
+        // as they did before the robustness extension existed.
+        if self.fault.enabled() {
+            if let Json::Obj(members) = &mut obj {
+                members.push(("fault".to_string(), self.fault.to_json()));
+            }
+        }
+        obj
     }
 }
 
@@ -378,6 +741,7 @@ impl FromJson for SystemConfig {
             update_rate: field(v, "update_rate")?,
             update_access_correlation: field(v, "update_access_correlation")?,
             seed: field(v, "seed")?,
+            fault: opt_field(v, "fault")?.unwrap_or_default(),
         })
     }
 }
@@ -465,10 +829,14 @@ impl FromJson for MeasurementProtocol {
 mod tests {
     use super::*;
 
+    fn errors_of(c: &SystemConfig) -> Vec<ConfigError> {
+        c.validate().unwrap_err().0
+    }
+
     #[test]
     fn paper_default_validates() {
-        SystemConfig::paper_default().validate();
-        SystemConfig::small().validate();
+        SystemConfig::paper_default().validate().unwrap();
+        SystemConfig::small().validate().unwrap();
     }
 
     #[test]
@@ -506,7 +874,7 @@ mod tests {
     fn mismatched_disks_fail_validation() {
         let mut c = SystemConfig::paper_default();
         c.disk_sizes = vec![100, 400, 400];
-        c.validate();
+        c.assert_valid();
     }
 
     #[test]
@@ -514,7 +882,223 @@ mod tests {
     fn oversized_cache_fails_validation() {
         let mut c = SystemConfig::small();
         c.cache_size = 1000;
-        c.validate();
+        c.assert_valid();
+    }
+
+    // One test per ConfigError variant: the right variant is reported, with
+    // the offending values attached.
+
+    #[test]
+    fn empty_database_is_reported() {
+        let mut c = SystemConfig::small();
+        c.db_size = 0;
+        c.disk_sizes = vec![];
+        c.rel_freqs = vec![];
+        c.cache_size = 0;
+        c.chop = 0;
+        let errs = errors_of(&c);
+        assert!(errs.contains(&ConfigError::EmptyDatabase));
+        assert!(errs.contains(&ConfigError::NoDisks));
+    }
+
+    #[test]
+    fn disk_size_sum_mismatch_is_reported() {
+        let mut c = SystemConfig::small();
+        c.disk_sizes = vec![10, 40, 40];
+        assert_eq!(
+            errors_of(&c),
+            vec![ConfigError::DiskSizeSum {
+                disk_sizes: vec![10, 40, 40],
+                db_size: 100
+            }]
+        );
+    }
+
+    #[test]
+    fn disk_freq_arity_mismatch_is_reported() {
+        let mut c = SystemConfig::small();
+        c.rel_freqs = vec![3, 2];
+        assert_eq!(
+            errors_of(&c),
+            vec![ConfigError::DiskFreqArity { disks: 3, freqs: 2 }]
+        );
+    }
+
+    #[test]
+    fn oversized_cache_is_reported() {
+        let mut c = SystemConfig::small();
+        c.cache_size = 1000;
+        let errs = errors_of(&c);
+        assert!(errs.contains(&ConfigError::CacheTooLarge {
+            cache_size: 1000,
+            db_size: 100
+        }));
+        // The offset cross-check fires too (cache > slowest disk).
+        assert!(errs.contains(&ConfigError::OffsetCacheTooLarge {
+            cache_size: 1000,
+            slowest: 50
+        }));
+    }
+
+    #[test]
+    fn non_positive_think_time_is_reported() {
+        let mut c = SystemConfig::small();
+        c.mc_think_time = 0.0;
+        assert_eq!(errors_of(&c), vec![ConfigError::NonPositiveThinkTime(0.0)]);
+    }
+
+    #[test]
+    fn non_positive_think_time_ratio_is_reported() {
+        let mut c = SystemConfig::small();
+        c.think_time_ratio = -1.0;
+        assert_eq!(
+            errors_of(&c),
+            vec![ConfigError::NonPositiveThinkTimeRatio(-1.0)]
+        );
+    }
+
+    #[test]
+    fn invalid_update_rate_is_reported() {
+        let mut c = SystemConfig::small();
+        c.update_rate = f64::INFINITY;
+        assert_eq!(
+            errors_of(&c),
+            vec![ConfigError::InvalidUpdateRate(f64::INFINITY)]
+        );
+    }
+
+    #[test]
+    fn fraction_out_of_range_is_reported_per_field() {
+        let mut c = SystemConfig::small();
+        c.pull_bw = 1.5;
+        c.noise = -0.25;
+        assert_eq!(
+            errors_of(&c),
+            vec![
+                ConfigError::FractionOutOfRange {
+                    field: "noise",
+                    value: -0.25
+                },
+                ConfigError::FractionOutOfRange {
+                    field: "pull_bw",
+                    value: 1.5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn chop_too_large_is_reported() {
+        let mut c = SystemConfig::small();
+        c.chop = 101;
+        assert_eq!(
+            errors_of(&c),
+            vec![ConfigError::ChopTooLarge {
+                chop: 101,
+                db_size: 100
+            }]
+        );
+    }
+
+    #[test]
+    fn offset_cache_constraint_is_reported() {
+        let mut c = SystemConfig::small();
+        c.cache_size = 60; // fits the 100-page database, not the 50-page slowest disk
+        assert_eq!(
+            errors_of(&c),
+            vec![ConfigError::OffsetCacheTooLarge {
+                cache_size: 60,
+                slowest: 50
+            }]
+        );
+        // Pure-Pull has no broadcast program, so the constraint vanishes.
+        c.algorithm = Algorithm::PurePull;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_brownout_window_is_reported() {
+        let mut c = SystemConfig::small();
+        c.fault.brownout_period = -5.0;
+        let errs = errors_of(&c);
+        assert!(errs.contains(&ConfigError::InvalidBrownout {
+            field: "fault.brownout_period",
+            value: -5.0
+        }));
+    }
+
+    #[test]
+    fn brownout_duration_exceeding_period_is_reported() {
+        let mut c = SystemConfig::small();
+        c.fault.brownout_period = 10.0;
+        c.fault.brownout_duration = 11.0;
+        assert_eq!(
+            errors_of(&c),
+            vec![ConfigError::BrownoutDurationExceedsPeriod {
+                duration: 11.0,
+                period: 10.0
+            }]
+        );
+    }
+
+    #[test]
+    fn fault_loss_probabilities_are_range_checked() {
+        let mut c = SystemConfig::small();
+        c.fault.broadcast_loss = 1.5;
+        c.fault.request_loss = -0.5;
+        assert_eq!(
+            errors_of(&c),
+            vec![
+                ConfigError::FractionOutOfRange {
+                    field: "fault.broadcast_loss",
+                    value: 1.5
+                },
+                ConfigError::FractionOutOfRange {
+                    field: "fault.request_loss",
+                    value: -0.5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_retry_policy_is_reported() {
+        let mut c = SystemConfig::small();
+        c.fault.retry = RetryPolicy {
+            backoff_factor: 0.5,
+            ..RetryPolicy::standard()
+        };
+        let errs = errors_of(&c);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(&errs[0], ConfigError::InvalidRetry(m) if m.contains("backoff_factor")));
+    }
+
+    #[test]
+    fn invalid_degrade_policy_is_reported() {
+        let mut c = SystemConfig::small();
+        c.fault.degrade = SaturationPolicy {
+            on_occupancy: 0.5,
+            off_occupancy: 0.9,
+            ..SaturationPolicy::standard()
+        };
+        let errs = errors_of(&c);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(&errs[0], ConfigError::InvalidDegrade(m) if m.contains("off_occupancy")));
+    }
+
+    #[test]
+    fn all_violations_are_reported_at_once() {
+        let mut c = SystemConfig::small();
+        c.disk_sizes = vec![10, 40, 40];
+        c.mc_think_time = -1.0;
+        c.pull_bw = 2.0;
+        c.fault.broadcast_loss = 3.0;
+        let errs = errors_of(&c);
+        assert_eq!(errs.len(), 4, "expected every violation listed: {errs:?}");
+        // And the joined message reads like the old panic strings.
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("must sum to db_size"));
+        assert!(msg.contains("; "), "violations joined into one message");
     }
 
     #[test]
@@ -563,6 +1147,56 @@ mod tests {
             let back: MeasurementProtocol = bpp_json::from_str(&s).unwrap();
             assert_eq!(p, back);
         }
+    }
+
+    #[test]
+    fn disabled_fault_model_is_invisible_in_json() {
+        let c = SystemConfig::paper_default();
+        assert!(!c.fault.enabled());
+        let s = bpp_json::to_string(&c);
+        assert!(!s.contains("fault"), "no-op fault model leaked into JSON");
+        // And a pre-extension document (no `fault` key) parses to none().
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(back.fault, FaultConfig::none());
+    }
+
+    #[test]
+    fn enabled_fault_model_round_trips_through_json() {
+        let mut c = SystemConfig::small();
+        c.fault = FaultConfig::lossy(0.1);
+        c.fault.brownout_period = 500.0;
+        c.fault.brownout_duration = 50.0;
+        c.fault.overflow = OverflowPolicy::DropOldest;
+        c.validate().unwrap();
+        let s = bpp_json::to_string_pretty(&c);
+        assert!(s.contains("\"fault\""));
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn lossy_preset_is_enabled_and_valid() {
+        assert!(!FaultConfig::none().enabled());
+        let f = FaultConfig::lossy(0.2);
+        assert!(f.enabled());
+        let mut c = SystemConfig::small();
+        c.fault = f;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn brownout_window_membership() {
+        let f = FaultConfig {
+            brownout_period: 100.0,
+            brownout_duration: 10.0,
+            ..FaultConfig::none()
+        };
+        assert!(f.in_brownout(0.0));
+        assert!(f.in_brownout(9.9));
+        assert!(!f.in_brownout(10.0));
+        assert!(!f.in_brownout(99.0));
+        assert!(f.in_brownout(105.0));
+        assert!(!FaultConfig::none().in_brownout(0.0));
     }
 
     #[test]

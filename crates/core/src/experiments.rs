@@ -10,7 +10,7 @@
 //! ([`par_run`]); every run derives its seed deterministically from the
 //! base seed, so figures are reproducible end to end.
 
-use crate::config::{Algorithm, MeasurementProtocol, SystemConfig};
+use crate::config::{Algorithm, FaultConfig, MeasurementProtocol, SystemConfig};
 use crate::runner::{run_steady_state, run_warmup, SteadyStateResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -23,6 +23,13 @@ pub const TTR_GRID_FINE: [f64; 7] = [10.0, 25.0, 35.0, 50.0, 75.0, 100.0, 250.0]
 
 /// The truncation sweep of Figure 7 (pages removed from the push schedule).
 pub const CHOP_GRID: [usize; 8] = [0, 100, 200, 300, 400, 500, 600, 700];
+
+/// Channel loss rates swept by the robustness scenario ([`loss_sweep`]).
+pub const LOSS_GRID: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// ThinkTimeRatio grid for the robustness scenario — denser at the loaded
+/// end (TTR=1 is the acceptance point for bounded degradation under loss).
+pub const LOSS_TTR_GRID: [f64; 5] = [1.0, 10.0, 25.0, 50.0, 100.0];
 
 /// One labelled curve.
 #[derive(Debug, Clone)]
@@ -50,8 +57,25 @@ pub struct Figure {
     pub series: Vec<Series>,
 }
 
+/// Extract a human-readable message from a payload caught by
+/// `catch_unwind`.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run `configs` on `available_parallelism` worker threads, preserving
 /// order. Deterministic: each config carries its own seed.
+///
+/// Panic-safe: a cell that panics (e.g. an invalid configuration slipping
+/// into a sweep) yields [`SteadyStateResult::failed`] with the panic
+/// message in its `error` field, and the rest of the sweep completes
+/// normally.
 pub fn par_run(configs: &[SystemConfig], proto: &MeasurementProtocol) -> Vec<SteadyStateResult> {
     let n = configs.len();
     let results: Mutex<Vec<Option<SteadyStateResult>>> = Mutex::new(vec![None; n]);
@@ -67,7 +91,12 @@ pub fn par_run(configs: &[SystemConfig], proto: &MeasurementProtocol) -> Vec<Ste
                 if i >= n {
                     break;
                 }
-                let r = run_steady_state(&configs[i], proto);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_steady_state(&configs[i], proto)
+                }))
+                .unwrap_or_else(|payload| {
+                    SteadyStateResult::failed(panic_message(payload.as_ref()))
+                });
                 results.lock().expect("no panics hold the lock")[i] = Some(r);
             });
         }
@@ -478,12 +507,95 @@ pub fn fig8(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
     }
 }
 
+/// Robustness scenario: IPP (PullBW 50%) under channel loss. One curve per
+/// loss rate in [`LOSS_GRID`], swept over [`LOSS_TTR_GRID`]. The zero-loss
+/// curve runs with the fault model fully disabled and anchors the family at
+/// exact paper behavior; lossy curves enable the full fault stack
+/// ([`FaultConfig::lossy`]: symmetric channel loss, standard client retry
+/// policy, standard server degradation policy).
+pub fn loss_sweep(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    let mut series = Vec::new();
+    for (k, loss) in LOSS_GRID.into_iter().enumerate() {
+        series.push(sweep_ttr(
+            base,
+            proto,
+            &LOSS_TTR_GRID,
+            &format!("IPP loss {:.0}%", loss * 100.0),
+            100 + k as u64,
+            move |c| {
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = 0.5;
+                c.thres_perc = 0.0;
+                c.steady_state_perc = 0.95;
+                c.fault = if loss > 0.0 {
+                    FaultConfig::lossy(loss)
+                } else {
+                    FaultConfig::none()
+                };
+            },
+        ));
+    }
+    Figure {
+        id: "L1".into(),
+        title: "Response time under channel loss, IPP PullBW=50%, retries+degradation on".into(),
+        x_label: "Think Time Ratio".into(),
+        y_label: "Response Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn small_base() -> SystemConfig {
         SystemConfig::small()
+    }
+
+    #[test]
+    fn par_run_survives_a_panicking_cell() {
+        let base = small_base();
+        let mut bad = base.clone();
+        bad.db_size = 0; // assert_valid() panics inside World::build
+        let mut good = base.clone();
+        good.algorithm = Algorithm::Ipp;
+        let configs = vec![good.clone(), bad, good];
+        let proto = MeasurementProtocol::quick();
+        let results = par_run(&configs, &proto);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].error.is_none());
+        assert!(results[2].error.is_none());
+        let failed = &results[1];
+        assert!(failed
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("invalid SystemConfig"));
+        assert!(failed.mean_response.is_nan());
+        // The healthy cells are unaffected by their crashed neighbour.
+        assert_eq!(results[0].mean_response, results[2].mean_response);
+    }
+
+    #[test]
+    fn loss_sweep_zero_loss_curve_matches_paper_behavior() {
+        let fig = loss_sweep(&small_base(), &MeasurementProtocol::quick());
+        assert_eq!(fig.series.len(), LOSS_GRID.len());
+        let zero = &fig.series[0];
+        // The zero-loss curve runs with the fault model off: no report.
+        assert!(zero.results.iter().all(|r| r.fault.is_none()));
+        // Lossy curves carry one, and actually lost something.
+        for s in &fig.series[1..] {
+            assert!(s.results.iter().all(|r| r.fault.is_some()));
+            assert!(s
+                .results
+                .iter()
+                .any(|r| r.fault.as_ref().unwrap().pages_lost > 0));
+        }
+        // Every cell completed with a finite response time: degradation is
+        // bounded even at 20% loss.
+        for s in &fig.series {
+            assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y > 0.0));
+        }
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Runtime fault injection: the lossy channels and brownout windows of
+//! [`FaultConfig`](crate::config::FaultConfig), plus the per-run
+//! [`FaultReport`] that makes degradation observable in experiment output.
+//!
+//! The injection points are deliberately few and all deterministic:
+//!
+//! * **frontchannel** — one coin per page-carrying slot on the
+//!   `FAULT_LOSS` RNG stream decides whether every listener misses the
+//!   page ([`FaultLayer::page_lost`]);
+//! * **backchannel** — one coin per sent request on the `FAULT_REQ` stream
+//!   ([`FaultLayer::deliver`]), then a clock check against the brownout
+//!   window (no randomness), then the ordinary queue admission path;
+//! * **client retries** and **server degradation** live in `bpp-client` /
+//!   `bpp-server`; their counters are folded into the same report.
+//!
+//! When the fault model is disabled the simulation holds no [`FaultLayer`]
+//! at all — no streams are seeded, no coins flipped, no report emitted —
+//! so a disabled-fault run is bitwise identical to one predating the
+//! subsystem.
+
+use crate::config::FaultConfig;
+use bpp_broadcast::PageId;
+use bpp_json::{field, FromJson, Json, JsonError, ToJson};
+use bpp_server::RequestQueue;
+use bpp_sim::{Rng, Xoshiro256pp};
+
+/// Channel-level loss counters accumulated by a [`FaultLayer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Page-carrying slots lost on the frontchannel.
+    pub pages_lost: u64,
+    /// Requests lost in transit on the backchannel.
+    pub requests_lost: u64,
+    /// Requests that arrived during a server brownout window and were
+    /// discarded.
+    pub requests_browned_out: u64,
+}
+
+/// The in-simulation fault machinery: the fault configuration plus its two
+/// dedicated RNG streams and loss accounting.
+#[derive(Debug, Clone)]
+pub struct FaultLayer {
+    cfg: FaultConfig,
+    rng_loss: Xoshiro256pp,
+    rng_req: Xoshiro256pp,
+    counters: FaultCounters,
+}
+
+impl FaultLayer {
+    /// Assemble the layer from its config and pre-seeded streams (the
+    /// `World` builder owns stream assignment).
+    pub fn new(cfg: FaultConfig, rng_loss: Xoshiro256pp, rng_req: Xoshiro256pp) -> Self {
+        FaultLayer {
+            cfg,
+            rng_loss,
+            rng_req,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Flip the frontchannel coin for one page-carrying slot. A lost slot
+    /// still consumes broadcast bandwidth; no listener hears the page.
+    /// Draws nothing when `broadcast_loss` is zero.
+    pub fn page_lost(&mut self) -> bool {
+        if self.cfg.broadcast_loss <= 0.0 {
+            return false;
+        }
+        let lost = self.rng_loss.random_bool(self.cfg.broadcast_loss);
+        if lost {
+            self.counters.pages_lost += 1;
+        }
+        lost
+    }
+
+    /// Carry one request over the backchannel toward `queue`: it may be
+    /// lost in transit (`request_loss` coin), discarded by a browned-out
+    /// server, or admitted through the ordinary (bounded, coalescing)
+    /// queue path. Returns whether the request reached the queue.
+    ///
+    /// The transit coin is flipped on every send — including sends into a
+    /// brownout — so the `FAULT_REQ` stream position depends only on the
+    /// number of sends, not on server-side state.
+    pub fn deliver(&mut self, queue: &mut RequestQueue, now: f64, page: PageId) -> bool {
+        let lost_in_transit =
+            self.cfg.request_loss > 0.0 && self.rng_req.random_bool(self.cfg.request_loss);
+        if lost_in_transit {
+            self.counters.requests_lost += 1;
+            return false;
+        }
+        if self.cfg.in_brownout(now) {
+            self.counters.requests_browned_out += 1;
+            return false;
+        }
+        queue.submit(page);
+        true
+    }
+
+    /// The loss counters so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+}
+
+/// Everything the fault model did to one run, serialized alongside the
+/// steady-state result (only when the fault model is enabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Page-carrying slots lost on the frontchannel.
+    pub pages_lost: u64,
+    /// Requests lost in transit on the backchannel.
+    pub requests_lost: u64,
+    /// Requests discarded by the server during brownout windows.
+    pub requests_browned_out: u64,
+    /// Requests discarded at a full queue (whole run).
+    pub dropped_full: u64,
+    /// Queue entries evicted under the `DropOldest` overflow policy.
+    pub dropped_evicted: u64,
+    /// Measured-Client request resends after timeouts.
+    pub retries: u64,
+    /// Times the retry budget ran out and the client fell back to waiting
+    /// for the broadcast.
+    pub retries_exhausted: u64,
+    /// Saturation transitions that shed pull bandwidth.
+    pub degradations: u64,
+    /// Saturation recoveries that restored it.
+    pub recoveries: u64,
+    /// Slots spent in the degraded (saturated) state.
+    pub saturated_slots: u64,
+}
+
+impl FaultReport {
+    /// Total requests the fault model prevented from being served
+    /// (in-transit losses, brownout discards, and queue drops/evictions).
+    pub fn requests_denied(&self) -> u64 {
+        self.requests_lost + self.requests_browned_out + self.dropped_full + self.dropped_evicted
+    }
+}
+
+impl ToJson for FaultReport {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("pages_lost", self.pages_lost.to_json()),
+            ("requests_lost", self.requests_lost.to_json()),
+            ("requests_browned_out", self.requests_browned_out.to_json()),
+            ("dropped_full", self.dropped_full.to_json()),
+            ("dropped_evicted", self.dropped_evicted.to_json()),
+            ("retries", self.retries.to_json()),
+            ("retries_exhausted", self.retries_exhausted.to_json()),
+            ("degradations", self.degradations.to_json()),
+            ("recoveries", self.recoveries.to_json()),
+            ("saturated_slots", self.saturated_slots.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FaultReport {
+            pages_lost: field(v, "pages_lost")?,
+            requests_lost: field(v, "requests_lost")?,
+            requests_browned_out: field(v, "requests_browned_out")?,
+            dropped_full: field(v, "dropped_full")?,
+            dropped_evicted: field(v, "dropped_evicted")?,
+            retries: field(v, "retries")?,
+            retries_exhausted: field(v, "retries_exhausted")?,
+            degradations: field(v, "degradations")?,
+            recoveries: field(v, "recoveries")?,
+            saturated_slots: field(v, "saturated_slots")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpp_sim::stream_rng;
+
+    fn layer(cfg: FaultConfig) -> FaultLayer {
+        FaultLayer::new(cfg, stream_rng(1, 5), stream_rng(1, 6))
+    }
+
+    #[test]
+    fn zero_loss_flips_no_coins_and_loses_nothing() {
+        let mut f = layer(FaultConfig::none());
+        for _ in 0..100 {
+            assert!(!f.page_lost());
+        }
+        let mut q = RequestQueue::new(10);
+        assert!(f.deliver(&mut q, 0.0, PageId(1)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(*f.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn certain_loss_loses_everything() {
+        let mut f = layer(FaultConfig {
+            broadcast_loss: 1.0,
+            request_loss: 1.0,
+            ..FaultConfig::none()
+        });
+        let mut q = RequestQueue::new(10);
+        for _ in 0..50 {
+            assert!(f.page_lost());
+            assert!(!f.deliver(&mut q, 0.0, PageId(1)));
+        }
+        assert!(q.is_empty());
+        assert_eq!(f.counters().pages_lost, 50);
+        assert_eq!(f.counters().requests_lost, 50);
+    }
+
+    #[test]
+    fn partial_loss_rate_is_roughly_honored_and_deterministic() {
+        let run = || {
+            let mut f = layer(FaultConfig {
+                broadcast_loss: 0.3,
+                ..FaultConfig::none()
+            });
+            (0..10_000).filter(|_| f.page_lost()).count()
+        };
+        let lost = run();
+        let frac = lost as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "observed loss {frac}");
+        assert_eq!(lost, run(), "same seed, same losses");
+    }
+
+    #[test]
+    fn brownout_discards_without_randomness() {
+        let mut f = layer(FaultConfig {
+            brownout_period: 100.0,
+            brownout_duration: 10.0,
+            ..FaultConfig::none()
+        });
+        let mut q = RequestQueue::new(10);
+        assert!(!f.deliver(&mut q, 5.0, PageId(1)), "inside the window");
+        assert!(f.deliver(&mut q, 50.0, PageId(2)), "outside the window");
+        assert!(!f.deliver(&mut q, 105.0, PageId(3)), "next cycle's window");
+        assert_eq!(f.counters().requests_browned_out, 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = FaultReport {
+            pages_lost: 1,
+            requests_lost: 2,
+            requests_browned_out: 3,
+            dropped_full: 4,
+            dropped_evicted: 5,
+            retries: 6,
+            retries_exhausted: 7,
+            degradations: 8,
+            recoveries: 9,
+            saturated_slots: 10,
+        };
+        let text = bpp_json::to_string(&r);
+        let back: FaultReport = bpp_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(r.requests_denied(), 2 + 3 + 4 + 5);
+    }
+}

@@ -42,10 +42,19 @@ pub mod adaptive;
 pub mod analytic;
 pub mod config;
 pub mod experiments;
+pub mod fault;
 pub mod report;
 pub mod runner;
 pub mod simulation;
 
-pub use config::{Algorithm, CachePolicy, MeasurementProtocol, QueueDiscipline, SystemConfig};
+pub use config::{
+    Algorithm, CachePolicy, ConfigError, ConfigErrors, FaultConfig, MeasurementProtocol,
+    QueueDiscipline, SystemConfig,
+};
+pub use fault::{FaultCounters, FaultLayer, FaultReport};
+// The fault-model policy knobs live with their mechanisms; re-export them so
+// a `FaultConfig` can be assembled from this crate alone.
+pub use bpp_client::{RetryPolicy, RetryState};
+pub use bpp_server::{OverflowPolicy, SaturationPolicy};
 pub use runner::{run_steady_state, run_warmup, SteadyStateResult, WarmupResult};
 pub use simulation::{SlotAccounting, World};

@@ -1,6 +1,7 @@
 //! Run protocols and result types.
 
 use crate::config::{MeasurementProtocol, SystemConfig};
+use crate::fault::FaultReport;
 use crate::simulation::{Phase, SlotAccounting, World};
 use bpp_json::{Json, ToJson};
 use bpp_sim::Confidence;
@@ -40,6 +41,44 @@ pub struct SteadyStateResult {
     pub slots: SlotKinds,
     /// Total simulated time in broadcast units.
     pub sim_time: f64,
+    /// What the fault model did to this run; `None` when fault injection is
+    /// disabled, keeping the serialized result identical to pre-fault
+    /// output.
+    pub fault: Option<FaultReport>,
+    /// Panic message when this cell of a sweep crashed instead of running
+    /// to completion (see [`crate::experiments::par_run`]); `None` for a
+    /// run that finished normally.
+    pub error: Option<String>,
+}
+
+impl SteadyStateResult {
+    /// A placeholder result for a sweep cell that panicked: every metric is
+    /// poisoned (NaN / zero) and `error` carries the panic message.
+    pub fn failed(msg: String) -> Self {
+        SteadyStateResult {
+            mean_response: f64::NAN,
+            ci_half_width: f64::NAN,
+            measured_accesses: 0,
+            converged: false,
+            mc_hit_rate: f64::NAN,
+            drop_rate: f64::NAN,
+            ignore_rate: f64::NAN,
+            requests_received: 0,
+            p50_response: None,
+            p90_response: None,
+            p99_response: None,
+            max_response: f64::NAN,
+            slots: SlotKinds {
+                push_pages: 0,
+                pull_pages: 0,
+                empty: 0,
+                idle: 0,
+            },
+            sim_time: 0.0,
+            fault: None,
+            error: Some(msg),
+        }
+    }
 }
 
 /// Serializable mirror of [`SlotAccounting`].
@@ -79,7 +118,7 @@ impl ToJson for SlotKinds {
 
 impl ToJson for SteadyStateResult {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut obj = Json::object([
             ("mean_response", self.mean_response.to_json()),
             ("ci_half_width", self.ci_half_width.to_json()),
             ("measured_accesses", self.measured_accesses.to_json()),
@@ -94,7 +133,18 @@ impl ToJson for SteadyStateResult {
             ("max_response", self.max_response.to_json()),
             ("slots", self.slots.to_json()),
             ("sim_time", self.sim_time.to_json()),
-        ])
+        ]);
+        // "fault" and "error" appear only when present so fault-free runs
+        // serialize exactly as they did before the fault subsystem existed.
+        if let Json::Obj(members) = &mut obj {
+            if let Some(fault) = &self.fault {
+                members.push(("fault".to_string(), fault.to_json()));
+            }
+            if let Some(error) = &self.error {
+                members.push(("error".to_string(), error.to_json()));
+            }
+        }
+        obj
     }
 }
 
@@ -120,16 +170,12 @@ impl ToJson for WarmupResult {
     }
 }
 
-/// Run the steady-state protocol: fill the MC cache, skip the configured
-/// number of accesses, measure until the response-time estimate stabilises
-/// (or a cap is hit).
-pub fn run_steady_state(cfg: &SystemConfig, protocol: &MeasurementProtocol) -> SteadyStateResult {
-    let mut engine = World::steady_state(cfg, protocol).into_engine();
-    engine.run_while(|w| !w.done());
-    let w = engine.model();
+/// Assemble a [`SteadyStateResult`] from a finished world. `converged` is
+/// computed by the caller because the plain and adaptive protocols use
+/// different stopping-rule interpretations.
+pub(crate) fn collect_steady_state(w: &World, sim_time: f64, converged: bool) -> SteadyStateResult {
     let q = w.measured_queue_stats();
     let bm = w.responses();
-    let reached_measure = w.phase() == Phase::Measure;
     SteadyStateResult {
         mean_response: bm.mean(),
         ci_half_width: if bm.completed_batches() >= 2 {
@@ -138,13 +184,7 @@ pub fn run_steady_state(cfg: &SystemConfig, protocol: &MeasurementProtocol) -> S
             f64::INFINITY
         },
         measured_accesses: bm.count(),
-        converged: reached_measure
-            && bm.count() < protocol.max_accesses
-            && bm.converged(
-                Confidence::P95,
-                protocol.rel_precision,
-                protocol.min_batches,
-            ),
+        converged,
         mc_hit_rate: w.mc().cache().stats().hit_rate(),
         drop_rate: q.drop_rate(),
         ignore_rate: q.ignore_rate(),
@@ -158,8 +198,28 @@ pub fn run_steady_state(cfg: &SystemConfig, protocol: &MeasurementProtocol) -> S
             0.0
         },
         slots: (*w.slots()).into(),
-        sim_time: engine.now(),
+        sim_time,
+        fault: w.fault_report(),
+        error: None,
     }
+}
+
+/// Run the steady-state protocol: fill the MC cache, skip the configured
+/// number of accesses, measure until the response-time estimate stabilises
+/// (or a cap is hit).
+pub fn run_steady_state(cfg: &SystemConfig, protocol: &MeasurementProtocol) -> SteadyStateResult {
+    let mut engine = World::steady_state(cfg, protocol).into_engine();
+    engine.run_while(|w| !w.done());
+    let w = engine.model();
+    let bm = w.responses();
+    let converged = w.phase() == Phase::Measure
+        && bm.count() < protocol.max_accesses
+        && bm.converged(
+            Confidence::P95,
+            protocol.rel_precision,
+            protocol.min_batches,
+        );
+    collect_steady_state(w, engine.now(), converged)
 }
 
 /// Run the warm-up protocol of Figure 4: a cold MC joins the broadcast and

@@ -25,14 +25,18 @@
 //! client, timing how fast the cache acquires its ideal content.
 
 use crate::config::{Algorithm, CachePolicy, MeasurementProtocol, QueueDiscipline, SystemConfig};
+use crate::fault::{FaultLayer, FaultReport};
 use bpp_broadcast::{
     assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot,
 };
 use bpp_cache::{LfuCache, LruCache, ReplacementPolicy, StaticScoreCache};
 use bpp_client::{
-    BeginOutcome, MeasuredClient, ThresholdFilter, VcAccess, VirtualClient, WarmupTracker,
+    BeginOutcome, MeasuredClient, RetryPolicy, RetryState, ThresholdFilter, VcAccess,
+    VirtualClient, WarmupTracker,
 };
-use bpp_server::{BandwidthMux, Discipline, QueueStats, RequestQueue, SlotDecision};
+use bpp_server::{
+    BandwidthMux, Discipline, QueueStats, RequestQueue, SaturationDetector, SlotDecision,
+};
 use bpp_sim::{
     stream_rng, BatchMeans, Confidence, Engine, Histogram, Model, Rng, Scheduler, Time, Welford,
     Xoshiro256pp,
@@ -47,6 +51,12 @@ mod streams {
     pub const VC: u64 = 2;
     pub const NOISE: u64 = 3;
     pub const UPDATE: u64 = 4;
+    /// Frontchannel page-loss coins (fault model).
+    pub const FAULT_LOSS: u64 = 5;
+    /// Backchannel request-loss coins (fault model).
+    pub const FAULT_REQ: u64 = 6;
+    /// Retry backoff jitter (fault model).
+    pub const RETRY: u64 = 7;
 }
 
 /// Events of the integrated model.
@@ -56,6 +66,13 @@ pub enum Event {
     Slot,
     /// The Measured Client wakes from its think time.
     McWake,
+    /// A pull-request retry timer expired (fault model). `gen` identifies
+    /// the access that armed the timer: a stale timer — its access already
+    /// completed — is ignored on the generation mismatch.
+    McRetry {
+        /// Generation counter of the MC access that armed this timer.
+        gen: u64,
+    },
 }
 
 /// Per-kind slot counters over the whole run.
@@ -168,6 +185,23 @@ pub struct World {
     slots: SlotAccounting,
     adaptive: Option<crate::adaptive::AdaptiveController>,
     done: bool,
+    // --- Fault model (all inert when FaultConfig is none()). ---
+    /// Lossy channels + brownouts; `None` when no channel faults are
+    /// configured (then no fault streams are ever seeded or drawn).
+    fault: Option<FaultLayer>,
+    /// Whether any part of the fault model is active (gates FaultReport).
+    fault_enabled: bool,
+    /// Queue-occupancy watcher shedding pull bandwidth while saturated.
+    saturation: Option<SaturationDetector>,
+    /// The configured pull bandwidth that saturation multiplies.
+    base_pull_bw: f64,
+    retry: RetryPolicy,
+    retry_state: RetryState,
+    /// Bumped on every MC miss; stale McRetry timers fail the match.
+    retry_gen: u64,
+    rng_retry: Xoshiro256pp,
+    retries: u64,
+    retries_exhausted: u64,
 }
 
 impl World {
@@ -188,7 +222,7 @@ impl World {
         phase: Phase,
         track_warmup: bool,
     ) -> Self {
-        cfg.validate();
+        cfg.assert_valid();
 
         // --- Broadcast program (the server builds it for the population
         // pattern; Pure-Pull broadcasts nothing). ---
@@ -285,16 +319,28 @@ impl World {
             None
         };
 
-        World {
-            program,
-            cursor: 0,
-            queue: RequestQueue::with_discipline(
+        // --- Fault model: construct only what the config enables, so the
+        // disabled path is bitwise-identical to the pre-fault simulator. ---
+        let fault_cfg = cfg.fault;
+        let has_channel_faults = fault_cfg.broadcast_loss > 0.0
+            || fault_cfg.request_loss > 0.0
+            || fault_cfg.has_brownouts();
+        let queue = {
+            let mut q = RequestQueue::with_discipline(
                 cfg.server_queue_size,
                 match cfg.queue_discipline {
                     QueueDiscipline::Fifo => Discipline::Fifo,
                     QueueDiscipline::MostRequested => Discipline::MostRequested,
                 },
-            ),
+            );
+            q.set_overflow(fault_cfg.overflow);
+            q
+        };
+
+        World {
+            program,
+            cursor: 0,
+            queue,
             mux: BandwidthMux::new(cfg.effective_pull_bw()),
             mc,
             vc,
@@ -329,6 +375,25 @@ impl World {
             slots: SlotAccounting::default(),
             adaptive: None,
             done: false,
+            fault: has_channel_faults.then(|| {
+                FaultLayer::new(
+                    fault_cfg,
+                    stream_rng(cfg.seed, streams::FAULT_LOSS),
+                    stream_rng(cfg.seed, streams::FAULT_REQ),
+                )
+            }),
+            fault_enabled: fault_cfg.enabled(),
+            saturation: fault_cfg
+                .degrade
+                .enabled()
+                .then(|| SaturationDetector::new(fault_cfg.degrade)),
+            base_pull_bw: cfg.effective_pull_bw(),
+            retry: fault_cfg.retry,
+            retry_state: RetryState::default(),
+            retry_gen: 0,
+            rng_retry: stream_rng(cfg.seed, streams::RETRY),
+            retries: 0,
+            retries_exhausted: 0,
         }
     }
 
@@ -398,9 +463,41 @@ impl World {
                 enqueued: total.enqueued - at.enqueued,
                 coalesced: total.coalesced - at.coalesced,
                 dropped_full: total.dropped_full - at.dropped_full,
+                dropped_evicted: total.dropped_evicted - at.dropped_evicted,
                 served: total.served - at.served,
             },
         }
+    }
+
+    /// What the fault model did to this run, or `None` when it is
+    /// disabled (keeping serialized results identical to pre-fault output).
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        if !self.fault_enabled {
+            return None;
+        }
+        let channel = self
+            .fault
+            .as_ref()
+            .map(|f| *f.counters())
+            .unwrap_or_default();
+        let sat = self
+            .saturation
+            .as_ref()
+            .map(|d| *d.stats())
+            .unwrap_or_default();
+        let q = self.queue.stats();
+        Some(FaultReport {
+            pages_lost: channel.pages_lost,
+            requests_lost: channel.requests_lost,
+            requests_browned_out: channel.requests_browned_out,
+            dropped_full: q.dropped_full,
+            dropped_evicted: q.dropped_evicted,
+            retries: self.retries,
+            retries_exhausted: self.retries_exhausted,
+            degradations: sat.degradations,
+            recoveries: sat.recoveries,
+            saturated_slots: sat.saturated_slots,
+        })
     }
 
     /// The Measured Client.
@@ -479,6 +576,20 @@ impl World {
         self.queue_stats_at_measure = Some(*self.queue.stats());
     }
 
+    /// Send one backchannel request at time `now`: through the fault layer
+    /// when channel faults are configured, straight into the queue
+    /// otherwise.
+    fn submit_request(&mut self, now: Time, page: PageId) {
+        match &mut self.fault {
+            Some(f) => {
+                f.deliver(&mut self.queue, now, page);
+            }
+            None => {
+                self.queue.submit(page);
+            }
+        }
+    }
+
     /// Process every VC access arriving before `until`.
     fn drain_vc(&mut self, until: Time) {
         let Some(vc) = &mut self.vc else {
@@ -490,7 +601,17 @@ impl World {
                     .vc_threshold
                     .should_request(&self.program, page, self.cursor)
                 {
-                    self.queue.submit(page);
+                    // VC requests ride the same lossy backchannel as the
+                    // MC's (brownouts judged at the actual arrival time).
+                    let at = self.next_vc_arrival;
+                    match &mut self.fault {
+                        Some(f) => {
+                            f.deliver(&mut self.queue, at, page);
+                        }
+                        None => {
+                            self.queue.submit(page);
+                        }
+                    }
                 }
             }
             self.next_vc_arrival += vc.next_interarrival(&mut self.rng_vc);
@@ -511,6 +632,10 @@ impl Model for World {
                 if now >= self.protocol.max_sim_time {
                     self.done = true;
                     return;
+                }
+                if let Some(sat) = &mut self.saturation {
+                    let mult = sat.observe(self.queue.len(), self.queue.capacity());
+                    self.mux.set_pull_bw(self.base_pull_bw * mult);
                 }
                 let decision = self.mux.decide(self.queue.is_empty(), &mut self.rng_mux);
                 let page = match decision {
@@ -540,13 +665,21 @@ impl Model for World {
                     }
                 };
                 if let Some(p) = page {
-                    // The page completes transmission at now + 1.
-                    if let Some(resp) = self.mc.on_broadcast(now + 1.0, p) {
-                        self.complete_mc_access(resp);
-                        let think = self.mc.draw_think(&mut self.rng_mc);
-                        sched.schedule_at(now + 1.0 + think, Event::McWake);
-                    } else if self.prefetch {
-                        self.mc.prefetch(now + 1.0, p);
+                    // A lost slot still burns the bandwidth: the page was
+                    // transmitted but no listener heard it.
+                    let lost = match &mut self.fault {
+                        Some(f) => f.page_lost(),
+                        None => false,
+                    };
+                    if !lost {
+                        // The page completes transmission at now + 1.
+                        if let Some(resp) = self.mc.on_broadcast(now + 1.0, p) {
+                            self.complete_mc_access(resp);
+                            let think = self.mc.draw_think(&mut self.rng_mc);
+                            sched.schedule_at(now + 1.0 + think, Event::McWake);
+                        } else if self.prefetch {
+                            self.mc.prefetch(now + 1.0, p);
+                        }
                     }
                 }
                 // VC accesses land during this slot; they are eligible for
@@ -558,6 +691,7 @@ impl Model for World {
                 if let Some(ctrl) = &mut self.adaptive {
                     if let Some((bw, thres)) = ctrl.on_slot(self.queue.stats()) {
                         self.mux.set_pull_bw(bw);
+                        self.base_pull_bw = bw;
                         if self.program.major_cycle() > 0 {
                             let f =
                                 ThresholdFilter::from_percentage(thres, self.program.major_cycle());
@@ -579,10 +713,50 @@ impl Model for World {
                         sched.schedule_in(think, Event::McWake);
                     }
                     BeginOutcome::Miss { page, send_request } => {
+                        // Invalidate any retry timer armed for an earlier
+                        // access, whether or not this one sends a request.
+                        self.retry_gen += 1;
                         if self.has_backchannel && send_request {
-                            self.queue.submit(page);
+                            self.submit_request(now, page);
+                            if self.retry.enabled() {
+                                self.retry_state = RetryState::arm();
+                                if let Some(d) = self
+                                    .retry_state
+                                    .next_delay(&self.retry, &mut self.rng_retry)
+                                {
+                                    sched.schedule_at(
+                                        now + d,
+                                        Event::McRetry {
+                                            gen: self.retry_gen,
+                                        },
+                                    );
+                                }
+                            }
                         }
                         // The client now blocks; Event::Slot completes it.
+                    }
+                }
+            }
+            Event::McRetry { gen } => {
+                if gen != self.retry_gen {
+                    return; // stale timer from a finished access
+                }
+                let Some(page) = self.mc.waiting_on() else {
+                    return;
+                };
+                match self
+                    .retry_state
+                    .next_delay(&self.retry, &mut self.rng_retry)
+                {
+                    Some(delay) => {
+                        self.retries += 1;
+                        self.submit_request(now, page);
+                        sched.schedule_at(now + delay, Event::McRetry { gen });
+                    }
+                    None => {
+                        // Retry budget exhausted: fall back to waiting for
+                        // the page on the periodic broadcast.
+                        self.retries_exhausted += 1;
                     }
                 }
             }

@@ -573,6 +573,18 @@ pub fn field<T: FromJson>(v: &Json, key: &str) -> Result<T, JsonError> {
     T::from_json(member).map_err(|e| JsonError::new(format!("field `{key}`: {e}")))
 }
 
+/// Extract an optional typed member of an object: `Ok(None)` when the key is
+/// absent (or explicitly `null`), an error only when the member is present
+/// but malformed. The backward-compatible way to add struct fields — old
+/// documents without the key keep parsing.
+pub fn opt_field<T: FromJson>(v: &Json, key: &str) -> Result<Option<T>, JsonError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(member) => Option::<T>::from_json(member)
+            .map_err(|e| JsonError::new(format!("field `{key}`: {e}"))),
+    }
+}
+
 impl ToJson for Json {
     fn to_json(&self) -> Json {
         self.clone()
@@ -809,5 +821,15 @@ mod tests {
         assert_eq!(to_string(&vec![1u32, 2]), "[1,2]");
         assert_eq!(to_string(&Some(2.5f64)), "2.5");
         assert_eq!(to_string(&Option::<f64>::None), "null");
+    }
+
+    #[test]
+    fn optional_field_extraction() {
+        let v = Json::parse(r#"{"n": 3, "name": null}"#).unwrap();
+        assert_eq!(opt_field::<usize>(&v, "n").unwrap(), Some(3));
+        assert_eq!(opt_field::<usize>(&v, "missing").unwrap(), None);
+        assert_eq!(opt_field::<String>(&v, "name").unwrap(), None);
+        // Present but malformed is still an error, not None.
+        assert!(opt_field::<bool>(&v, "n").is_err());
     }
 }

@@ -19,6 +19,8 @@
 
 pub mod mux;
 pub mod queue;
+pub mod saturation;
 
 pub use mux::{BandwidthMux, SlotDecision};
-pub use queue::{Discipline, QueueStats, RequestQueue, SubmitOutcome};
+pub use queue::{Discipline, OverflowPolicy, QueueStats, RequestQueue, SubmitOutcome};
+pub use saturation::{SaturationDetector, SaturationPolicy, SaturationStats};

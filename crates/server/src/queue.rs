@@ -1,6 +1,7 @@
 //! The bounded, coalescing backchannel request queue.
 
 use bpp_broadcast::PageId;
+use bpp_json::{Json, JsonError};
 use std::collections::{HashMap, VecDeque};
 
 /// What happened to a submitted request.
@@ -12,6 +13,48 @@ pub enum SubmitOutcome {
     Coalesced,
     /// The queue was full; the request is silently discarded.
     DroppedFull,
+}
+
+/// What to do with a *new* page request arriving at a full queue.
+///
+/// The paper's queue silently discards the newcomer ([`DropNewest`]);
+/// the fault-model extension adds [`DropOldest`], which evicts the
+/// longest-waiting entry to make room — trading head-of-line staleness for
+/// admission of fresh demand. Either way somebody loses: the accounting in
+/// [`QueueStats`] says who.
+///
+/// [`DropNewest`]: OverflowPolicy::DropNewest
+/// [`DropOldest`]: OverflowPolicy::DropOldest
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Discard the arriving request (the paper's behavior).
+    #[default]
+    DropNewest,
+    /// Evict the oldest queued entry (and all its coalesced waiters) to
+    /// admit the arriving request.
+    DropOldest,
+}
+
+impl bpp_json::ToJson for OverflowPolicy {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                OverflowPolicy::DropNewest => "drop_newest",
+                OverflowPolicy::DropOldest => "drop_oldest",
+            }
+            .into(),
+        )
+    }
+}
+
+impl bpp_json::FromJson for OverflowPolicy {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("drop_newest") => Ok(OverflowPolicy::DropNewest),
+            Some("drop_oldest") => Ok(OverflowPolicy::DropOldest),
+            _ => Err(JsonError::new(format!("invalid overflow policy: {v:?}"))),
+        }
+    }
 }
 
 /// Service order of the queue.
@@ -36,6 +79,9 @@ pub struct QueueStats {
     pub coalesced: u64,
     /// Requests discarded because the queue was full.
     pub dropped_full: u64,
+    /// Queued entries evicted by [`OverflowPolicy::DropOldest`] to admit a
+    /// newer request (always 0 under the paper's `DropNewest` policy).
+    pub dropped_evicted: u64,
     /// Entries served (broadcast in a pull slot).
     pub served: u64,
 }
@@ -68,6 +114,7 @@ impl QueueStats {
 pub struct RequestQueue {
     capacity: usize,
     discipline: Discipline,
+    overflow: OverflowPolicy,
     order: VecDeque<PageId>,
     /// page -> number of coalesced requests waiting on it (>= 1).
     pending: HashMap<PageId, u32>,
@@ -85,10 +132,21 @@ impl RequestQueue {
         RequestQueue {
             capacity,
             discipline,
+            overflow: OverflowPolicy::DropNewest,
             order: VecDeque::new(),
             pending: HashMap::new(),
             stats: QueueStats::default(),
         }
+    }
+
+    /// Change what happens when a new page arrives at a full queue.
+    pub fn set_overflow(&mut self, overflow: OverflowPolicy) {
+        self.overflow = overflow;
+    }
+
+    /// The configured overflow policy.
+    pub fn overflow(&self) -> OverflowPolicy {
+        self.overflow
     }
 
     /// Submit a pull request for `page`.
@@ -100,8 +158,17 @@ impl RequestQueue {
             return SubmitOutcome::Coalesced;
         }
         if self.order.len() >= self.capacity {
-            self.stats.dropped_full += 1;
-            return SubmitOutcome::DroppedFull;
+            match self.overflow {
+                OverflowPolicy::DropOldest if !self.order.is_empty() => {
+                    let old = self.order.pop_front().expect("non-empty");
+                    self.pending.remove(&old);
+                    self.stats.dropped_evicted += 1;
+                }
+                _ => {
+                    self.stats.dropped_full += 1;
+                    return SubmitOutcome::DroppedFull;
+                }
+            }
         }
         self.pending.insert(page, 1);
         self.order.push_back(page);
@@ -258,5 +325,50 @@ mod tests {
         q.submit(p(2));
         q.pop();
         assert_eq!(q.stats().served, 1);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head_to_admit_newcomer() {
+        let mut q = RequestQueue::new(2);
+        q.set_overflow(OverflowPolicy::DropOldest);
+        q.submit(p(1));
+        q.submit(p(2));
+        assert_eq!(q.submit(p(3)), SubmitOutcome::Enqueued);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_pending(p(1)), "oldest entry should have been evicted");
+        assert!(q.is_pending(p(3)));
+        let s = q.stats();
+        assert_eq!(s.dropped_evicted, 1);
+        assert_eq!(s.dropped_full, 0);
+        assert_eq!(q.pop(), Some(p(2)));
+        assert_eq!(q.pop(), Some(p(3)));
+    }
+
+    #[test]
+    fn drop_oldest_with_zero_capacity_still_drops_newcomer() {
+        let mut q = RequestQueue::new(0);
+        q.set_overflow(OverflowPolicy::DropOldest);
+        assert_eq!(q.submit(p(1)), SubmitOutcome::DroppedFull);
+        assert_eq!(q.stats().dropped_full, 1);
+        assert_eq!(q.stats().dropped_evicted, 0);
+    }
+
+    #[test]
+    fn drop_oldest_still_coalesces_at_capacity() {
+        let mut q = RequestQueue::new(1);
+        q.set_overflow(OverflowPolicy::DropOldest);
+        q.submit(p(1));
+        assert_eq!(q.submit(p(1)), SubmitOutcome::Coalesced);
+        assert_eq!(q.stats().dropped_evicted, 0);
+    }
+
+    #[test]
+    fn overflow_policy_json_round_trip() {
+        for policy in [OverflowPolicy::DropNewest, OverflowPolicy::DropOldest] {
+            let text = bpp_json::to_string(&policy);
+            let back: OverflowPolicy = bpp_json::from_str(&text).unwrap();
+            assert_eq!(policy, back);
+        }
+        assert!(bpp_json::from_str::<OverflowPolicy>("\"bogus\"").is_err());
     }
 }

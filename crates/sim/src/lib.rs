@@ -59,4 +59,4 @@ pub mod stats;
 
 pub use engine::{Engine, EventId, Model, Scheduler, Time};
 pub use rng::{stream_rng, Rng, Sample, SeedSeq, Xoshiro256pp};
-pub use stats::{autocorrelation, BatchMeans, Confidence, Histogram, TimeWeighted, Welford};
+pub use stats::{autocorrelation, BatchMeans, Confidence, Ewma, Histogram, TimeWeighted, Welford};

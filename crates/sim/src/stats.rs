@@ -147,6 +147,63 @@ impl Welford {
     }
 }
 
+/// Exponentially weighted moving average.
+///
+/// A constant-memory smoother for noisy per-slot signals (queue occupancy,
+/// arrival rates): `v ← α·x + (1−α)·v`, seeded with the first observation.
+/// Small `α` smooths harder. Used by the server's saturation detector to
+/// keep degradation decisions from flapping on single-slot spikes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// A smoother with weight `alpha` in `(0, 1]` for new observations.
+    ///
+    /// # Panics
+    /// If `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0,1], got {alpha}"
+        );
+        Ewma {
+            alpha,
+            value: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Record one observation and return the updated average.
+    pub fn record(&mut self, x: f64) -> f64 {
+        debug_assert!(x.is_finite(), "observations must be finite");
+        if self.primed {
+            self.value += self.alpha * (x - self.value);
+        } else {
+            self.value = x;
+            self.primed = true;
+        }
+        self.value
+    }
+
+    /// The current average (0 before any observation).
+    pub fn value(&self) -> f64 {
+        if self.primed {
+            self.value
+        } else {
+            0.0
+        }
+    }
+
+    /// True once at least one observation was recorded.
+    pub fn primed(&self) -> bool {
+        self.primed
+    }
+}
+
 /// Batch-means steady-state estimator with a relative-precision stopping
 /// rule.
 #[derive(Debug, Clone)]
@@ -543,5 +600,39 @@ mod tests {
     fn time_weighted_no_span_returns_current() {
         let tw = TimeWeighted::new(3.0, 7.0);
         assert_eq!(tw.average(), 7.0);
+    }
+
+    #[test]
+    fn ewma_seeds_with_first_observation() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), 0.0);
+        assert!(!e.primed());
+        assert_eq!(e.record(4.0), 4.0);
+        assert!(e.primed());
+        // 0.9 * 4 + 0.1 * 14 = 5.0
+        assert!((e.record(14.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.record(3.0);
+        }
+        assert!((e.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.record(1.0);
+        e.record(9.0);
+        assert_eq!(e.value(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
     }
 }

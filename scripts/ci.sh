@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Full offline CI gate: build, test, lint, format.
+# Full offline CI gate: build, test, lint, format, fault-model golden check.
 #
 # `--frozen` forbids both network access and lockfile changes, proving the
 # workspace builds with zero external dependencies from a cold checkout.
@@ -9,7 +9,15 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --frozen
 cargo test -q --frozen
+# The fault-injection suite runs as part of the workspace tests above, but
+# gate on it explicitly so a filtered/partial test invocation can't skip it.
+cargo test -q --frozen -p bpp-core --test faults
 cargo clippy --all-targets --frozen -- -D warnings
 cargo fmt --check
+
+# Fault-model regression: a fixed-seed loss-sweep cell must reproduce the
+# committed FaultReport bit for bit.
+./target/release/faults --smoke | cmp - results/fault_smoke.json \
+    || { echo "ci: fault smoke report diverged from results/fault_smoke.json" >&2; exit 1; }
 
 echo "ci: all checks passed"

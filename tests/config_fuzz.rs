@@ -8,7 +8,8 @@
 //! the case index alone.
 
 use bpp_core::{
-    run_steady_state, Algorithm, CachePolicy, MeasurementProtocol, QueueDiscipline, SystemConfig,
+    run_steady_state, Algorithm, CachePolicy, FaultConfig, MeasurementProtocol, QueueDiscipline,
+    SystemConfig,
 };
 use bpp_sim::rng::{stream_rng, Rng};
 
@@ -47,6 +48,17 @@ fn gen_config(case: u64) -> SystemConfig {
     };
     let pf = rng.random_bool(0.5);
     let upd = [0.0, 0.02, 0.2][rng.random_range(0..3)];
+    // A third of the cases run faultless, a third with symmetric channel
+    // loss (retries + degradation on), a third add server brownouts too.
+    let fault = match rng.random_range(0..3) {
+        0 => FaultConfig::none(),
+        1 => FaultConfig::lossy([0.05, 0.2][rng.random_range(0..2)]),
+        _ => FaultConfig {
+            brownout_period: 500.0,
+            brownout_duration: 50.0,
+            ..FaultConfig::lossy(0.1)
+        },
+    };
 
     let disk_sizes = vec![unit, 4 * unit, 5 * unit];
     let db = 10 * unit;
@@ -74,6 +86,7 @@ fn gen_config(case: u64) -> SystemConfig {
         update_rate: upd,
         update_access_correlation: 0.5,
         seed,
+        fault,
     }
 }
 

@@ -1,0 +1,150 @@
+//! Fault-injection integration tests: the acceptance criteria of the
+//! robustness PR.
+//!
+//! * a disabled fault model is *invisible* — no report, no extra JSON
+//!   members, results identical run to run;
+//! * under 100% backchannel loss the client retries, exhausts its budget
+//!   and falls back to the broadcast — the run still completes with a
+//!   bounded response time;
+//! * 10% symmetric loss at ThinkTimeRatio=1 (the loaded end of the loss
+//!   sweep) completes with a bounded mean and a nonzero retry/drop count;
+//! * server saturation degrades pull bandwidth and is accounted for.
+
+use bpp_client::RetryPolicy;
+use bpp_core::{
+    run_steady_state, Algorithm, FaultConfig, MeasurementProtocol, SaturationPolicy, SystemConfig,
+};
+use bpp_json::ToJson;
+
+fn ipp_small() -> SystemConfig {
+    let mut c = SystemConfig::small();
+    c.algorithm = Algorithm::Ipp;
+    c.pull_bw = 0.5;
+    c.thres_perc = 0.0;
+    c.steady_state_perc = 0.95;
+    c
+}
+
+/// A retry policy that fires well before the broadcast safety net (the
+/// small system's major cycle) so retries are observable in short runs.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 4,
+        base_timeout: 4.0,
+        backoff_factor: 2.0,
+        max_backoff: 32.0,
+        jitter: 0.0,
+    }
+}
+
+#[test]
+fn disabled_fault_model_is_invisible() {
+    let cfg = ipp_small();
+    assert!(!cfg.fault.enabled());
+    let proto = MeasurementProtocol::quick();
+    let a = run_steady_state(&cfg, &proto);
+    assert!(a.fault.is_none());
+    assert!(a.error.is_none());
+    let text = bpp_json::to_string(&a.to_json());
+    assert!(
+        !text.contains("\"fault\"") && !text.contains("\"error\""),
+        "disabled fault model must not appear in serialized results"
+    );
+    // And the config itself serializes without a fault member.
+    let cfg_text = bpp_json::to_string(&cfg.to_json());
+    assert!(!cfg_text.contains("\"fault\""));
+    // Determinism sanity: identical configs, identical serialization.
+    let b = run_steady_state(&cfg, &proto);
+    assert_eq!(text, bpp_json::to_string(&b.to_json()));
+}
+
+#[test]
+fn full_backchannel_loss_falls_back_to_broadcast() {
+    let mut cfg = ipp_small();
+    cfg.fault.request_loss = 1.0;
+    cfg.fault.retry = fast_retry();
+    let r = run_steady_state(&cfg, &MeasurementProtocol::quick());
+    assert!(r.error.is_none());
+    let f = r.fault.expect("fault model enabled");
+    // Every sent request was lost in transit; none reached the queue.
+    assert!(f.requests_lost > 0);
+    assert_eq!(r.requests_received, 0);
+    // The client retried, ran out of budget, and fell back to waiting for
+    // the push schedule — which bounds the response time.
+    assert!(f.retries > 0, "report: {f:?}");
+    assert!(f.retries_exhausted > 0, "report: {f:?}");
+    assert!(
+        r.mean_response.is_finite() && r.mean_response > 0.0,
+        "broadcast fallback keeps the response time bounded"
+    );
+    assert!(r.measured_accesses > 0);
+}
+
+#[test]
+fn acceptance_ten_percent_loss_at_ttr_one() {
+    let mut cfg = ipp_small();
+    cfg.think_time_ratio = 1.0;
+    cfg.fault = FaultConfig::lossy(0.10);
+    cfg.fault.retry = fast_retry();
+    let r = run_steady_state(&cfg, &MeasurementProtocol::quick());
+    assert!(r.error.is_none());
+    assert!(
+        r.mean_response.is_finite() && r.mean_response > 0.0,
+        "bounded mean response under 10% loss at TTR=1"
+    );
+    let f = r.fault.expect("fault model enabled");
+    assert!(f.pages_lost > 0, "frontchannel loss engaged: {f:?}");
+    assert!(
+        f.retries + f.requests_denied() > 0,
+        "nonzero retry/drop accounting: {f:?}"
+    );
+}
+
+#[test]
+fn lossy_runs_are_deterministic() {
+    let mut cfg = ipp_small();
+    cfg.fault = FaultConfig::lossy(0.10);
+    let proto = MeasurementProtocol::quick();
+    let a = run_steady_state(&cfg, &proto);
+    let b = run_steady_state(&cfg, &proto);
+    assert_eq!(
+        bpp_json::to_string(&a.to_json()),
+        bpp_json::to_string(&b.to_json()),
+        "same seed, same faults, same serialized result"
+    );
+    assert!(a.fault.is_some());
+}
+
+#[test]
+fn saturation_sheds_pull_bandwidth_under_load() {
+    let mut cfg = ipp_small();
+    cfg.think_time_ratio = 1.0;
+    cfg.server_queue_size = 5;
+    // A hair-trigger detector: degrade at 5% smoothed occupancy, shed all
+    // pull bandwidth, recover below 1%.
+    cfg.fault.degrade = SaturationPolicy {
+        on_occupancy: 0.05,
+        off_occupancy: 0.01,
+        shed_to: 0.0,
+        smoothing: 0.5,
+    };
+    let r = run_steady_state(&cfg, &MeasurementProtocol::quick());
+    assert!(r.error.is_none());
+    let f = r.fault.expect("fault model enabled");
+    assert!(f.degradations > 0, "detector tripped: {f:?}");
+    assert!(f.saturated_slots > 0, "time was spent degraded: {f:?}");
+    assert!(r.mean_response.is_finite() && r.mean_response > 0.0);
+}
+
+#[test]
+fn brownout_windows_discard_requests() {
+    let mut cfg = ipp_small();
+    cfg.think_time_ratio = 1.0;
+    cfg.fault.brownout_period = 100.0;
+    cfg.fault.brownout_duration = 50.0;
+    let r = run_steady_state(&cfg, &MeasurementProtocol::quick());
+    assert!(r.error.is_none());
+    let f = r.fault.expect("fault model enabled");
+    assert!(f.requests_browned_out > 0, "report: {f:?}");
+    assert!(r.mean_response.is_finite() && r.mean_response > 0.0);
+}
