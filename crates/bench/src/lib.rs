@@ -10,6 +10,8 @@
 //! * `--small`   run on the scaled-down test system (100 pages) instead of
 //!   the paper's 1000-page configuration.
 
+#![forbid(unsafe_code)]
+
 pub mod micro;
 
 use bpp_core::experiments::Figure;

@@ -102,7 +102,7 @@ impl Group {
             }
             per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
         }
-        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        per_iter.sort_by(f64::total_cmp);
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         let median = if per_iter.len() % 2 == 1 {
             per_iter[per_iter.len() / 2]
@@ -114,7 +114,7 @@ impl Group {
             mean_ns: mean,
             median_ns: median,
             min_ns: per_iter[0],
-            max_ns: *per_iter.last().expect("sample_size >= 2"),
+            max_ns: per_iter[per_iter.len() - 1],
             samples: per_iter.len(),
             iters_per_sample: iters,
         };

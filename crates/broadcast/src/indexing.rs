@@ -22,6 +22,7 @@
 
 use crate::program::{BroadcastProgram, Slot};
 use crate::PageId;
+use bpp_sim::approx::exactly_zero;
 
 /// A broadcast cycle with `m` interleaved index segments.
 #[derive(Debug, Clone)]
@@ -134,7 +135,7 @@ impl IndexedProgram {
         let cycle = c as f64;
         for (page, occ) in occurrences.iter().enumerate() {
             let w = probs[page];
-            if occ.is_empty() || w == 0.0 {
+            if occ.is_empty() || exactly_zero(w) {
                 continue;
             }
             total_mass += w;
@@ -156,6 +157,7 @@ impl IndexedProgram {
                         t
                     })
                     .min()
+                    // bpp-lint: allow(D3): guarded by the occ.is_empty() continue above
                     .expect("non-empty occurrences");
                 sum += (target + 1 - a) as f64;
             }
@@ -173,7 +175,7 @@ impl IndexedProgram {
         let mut total = 0.0;
         let mut mass = 0.0;
         for (i, &p) in probs.iter().enumerate() {
-            if p == 0.0 {
+            if exactly_zero(p) {
                 continue;
             }
             if let Some(d) = program.expected_slots(PageId(i as u32)) {

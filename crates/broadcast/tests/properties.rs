@@ -3,6 +3,7 @@
 //! `stream_rng(SEED, i)`, so every run (and every failure) is reproducible
 //! from the case index alone.
 
+// bpp-lint: allow-file(D1): property cases derive per-case RNG streams from the case index
 use bpp_broadcast::{
     assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot,
 };

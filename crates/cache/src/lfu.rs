@@ -75,6 +75,7 @@ impl ReplacementPolicy for LfuCache {
             return None;
         }
         let evicted = if self.state.len() == self.capacity {
+            // bpp-lint: allow(D3): reached only when the cache is full, so the order set is non-empty
             let &(c, s, victim) = self.order.first().expect("full cache non-empty");
             self.order.remove(&(c, s, victim));
             self.state.remove(&victim);

@@ -36,6 +36,7 @@ impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.score
             .partial_cmp(&other.score)
+            // bpp-lint: allow(D3): scores are validated finite at construction
             .expect("scores are finite")
             .then_with(|| self.item.cmp(&other.item))
     }
@@ -173,6 +174,7 @@ impl ReplacementPolicy for StaticScoreCache {
         let min = *self
             .ordered
             .first()
+            // bpp-lint: allow(D3): reached only when the cache is full, so a minimum exists
             .expect("cache is full, hence non-empty");
         if entry <= min {
             // Incoming item is the lowest-valued candidate: do not admit.

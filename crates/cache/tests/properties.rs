@@ -2,6 +2,7 @@
 //! by deterministic generator loops — case `i` derives its inputs from
 //! `stream_rng(SEED, i)`, so failures reproduce from the case index alone.
 
+// bpp-lint: allow-file(D1): property cases derive per-case RNG streams from the case index
 use bpp_cache::{LfuCache, LruCache, ReplacementPolicy, StaticScoreCache};
 use bpp_sim::rng::{stream_rng, Rng, Xoshiro256pp};
 

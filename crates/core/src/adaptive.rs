@@ -207,6 +207,7 @@ pub fn run_adaptive(
     engine.run_while(|w| !w.done());
     let w = engine.model();
     let bm = w.responses();
+    // bpp-lint: allow(D3): callers reach this only on worlds built with an adaptive controller
     let ctrl = w.adaptive().expect("adaptive enabled");
     let converged = bm.converged(Confidence::P95, proto.rel_precision, proto.min_batches);
     AdaptiveResult {

@@ -672,6 +672,7 @@ impl SystemConfig {
     /// contract is "caller passes a valid config".
     pub fn assert_valid(&self) {
         if let Err(errs) = self.validate() {
+            // bpp-lint: allow(D3): assert_valid is the documented panicking twin of validate()
             panic!("invalid SystemConfig: {errs}");
         }
     }

@@ -12,6 +12,7 @@
 
 use crate::config::{Algorithm, FaultConfig, MeasurementProtocol, SystemConfig};
 use crate::runner::{run_steady_state, run_warmup, SteadyStateResult};
+use bpp_sim::approx::exactly_zero;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -86,6 +87,7 @@ pub fn par_run(configs: &[SystemConfig], proto: &MeasurementProtocol) -> Vec<Ste
         .min(n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
+            // bpp-lint: allow(D2): deterministic fan-out over independent seeded cells; results are joined in input order
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -97,14 +99,17 @@ pub fn par_run(configs: &[SystemConfig], proto: &MeasurementProtocol) -> Vec<Ste
                 .unwrap_or_else(|payload| {
                     SteadyStateResult::failed(panic_message(payload.as_ref()))
                 });
+                // bpp-lint: allow(D3): lock poisoning is impossible: worker closures catch_unwind around the only panic source
                 results.lock().expect("no panics hold the lock")[i] = Some(r);
             });
         }
     });
     results
         .into_inner()
+        // bpp-lint: allow(D3): thread::scope joins every worker before returning, so the Mutex is free
         .expect("scope joined all workers")
         .into_iter()
+        // bpp-lint: allow(D3): the work-stealing loop covers every index exactly once
         .map(|r| r.expect("every index was filled"))
         .collect()
 }
@@ -453,7 +458,7 @@ pub fn fig7(base: &SystemConfig, proto: &MeasurementProtocol, thres: f64) -> Fig
         });
     }
     Figure {
-        id: if thres == 0.0 { "7a" } else { "7b" }.into(),
+        id: if exactly_zero(thres) { "7a" } else { "7b" }.into(),
         title: format!(
             "Restricting push contents, ThinkTimeRatio=25, ThresPerc={:.0}%",
             thres * 100.0

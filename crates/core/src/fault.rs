@@ -176,7 +176,12 @@ mod tests {
     use bpp_sim::stream_rng;
 
     fn layer(cfg: FaultConfig) -> FaultLayer {
-        FaultLayer::new(cfg, stream_rng(1, 5), stream_rng(1, 6))
+        use crate::simulation::streams;
+        FaultLayer::new(
+            cfg,
+            stream_rng(1, streams::FAULT_LOSS),
+            stream_rng(1, streams::FAULT_REQ),
+        )
     }
 
     #[test]

@@ -38,6 +38,8 @@
 //! evaluation (see DESIGN.md for the experiment index), and [`analytic`]
 //! provides closed-form cross-checks.
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod analytic;
 pub mod config;
@@ -57,4 +59,4 @@ pub use fault::{FaultCounters, FaultLayer, FaultReport};
 pub use bpp_client::{RetryPolicy, RetryState};
 pub use bpp_server::{OverflowPolicy, SaturationPolicy};
 pub use runner::{run_steady_state, run_warmup, SteadyStateResult, WarmupResult};
-pub use simulation::{SlotAccounting, World};
+pub use simulation::{streams, SlotAccounting, World};

@@ -228,6 +228,7 @@ pub fn run_warmup(cfg: &SystemConfig, protocol: &MeasurementProtocol) -> WarmupR
     let mut engine = World::warmup_experiment(cfg, protocol).into_engine();
     engine.run_while(|w| !w.done());
     let w = engine.model();
+    // bpp-lint: allow(D3): run_warmup builds the world in warmup mode, which always attaches a tracker
     let tracker = w.mc().warmup().expect("warmup world has a tracker");
     WarmupResult {
         fractions: tracker.fractions().to_vec(),

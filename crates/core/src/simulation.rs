@@ -43,19 +43,52 @@ use bpp_sim::{
 };
 use bpp_workload::{AccessPattern, NoisePermutation, ThinkTime, Zipf};
 
-/// RNG stream labels (stable across versions: changing one component's draw
-/// count must not perturb the others).
-mod streams {
+/// The RNG stream registry — the workspace's single source of truth.
+///
+/// Every stochastic component draws from `stream_rng(seed, streams::X)`;
+/// ids are stable across versions because changing one component's draw
+/// count must never perturb the variates any other component sees (the
+/// common-random-numbers discipline behind all published figures).
+///
+/// | id | constant     | owner                              | drawn when            |
+/// |----|--------------|------------------------------------|-----------------------|
+/// | 0  | `MUX`        | `bpp_server::BandwidthMux`         | every slot boundary   |
+/// | 1  | `MC`         | Measured Client think/access       | every MC access       |
+/// | 2  | `VC`         | Virtual Client population          | every VC access       |
+/// | 3  | `NOISE`      | `bpp_workload::NoisePermutation`   | once at build         |
+/// | 4  | `UPDATE`     | server-side update process         | per update tick       |
+/// | 5  | `FAULT_LOSS` | fault model, frontchannel          | `broadcast_loss > 0`  |
+/// | 6  | `FAULT_REQ`  | fault model, backchannel           | `request_loss > 0`    |
+/// | 7  | `RETRY`      | `bpp_client::retry` jitter         | `jitter > 0`          |
+///
+/// Streams 0–4 are golden-pinned from the base system; 5–7 belong to the
+/// fault model and are seeded only when the corresponding knob is enabled.
+/// `bpp-lint` rule D1 enforces that (a) every `stream_rng`/`.named` call
+/// outside `crates/sim` names one of these constants and (b) the ids here
+/// stay unique and documented. `bpp_client` cannot depend on this crate,
+/// so it mirrors its one stream as `bpp_client::streams::RETRY`; the
+/// `client_retry_stream_mirror_matches` test pins the two together.
+pub mod streams {
+    /// 0 — server bandwidth MUX coin (`bpp_server::BandwidthMux`), one
+    /// draw per slot boundary.
     pub const MUX: u64 = 0;
+    /// 1 — Measured Client think times and access draws.
     pub const MC: u64 = 1;
+    /// 2 — Virtual Client population think times and access draws.
     pub const VC: u64 = 2;
+    /// 3 — noise permutation of the access pattern
+    /// (`bpp_workload::NoisePermutation`), drawn once at world build.
     pub const NOISE: u64 = 3;
+    /// 4 — server-side update process (page staleness experiments).
     pub const UPDATE: u64 = 4;
-    /// Frontchannel page-loss coins (fault model).
+    /// 5 — fault model: frontchannel page-loss coins, one per
+    /// page-carrying slot, drawn only when `broadcast_loss > 0`.
     pub const FAULT_LOSS: u64 = 5;
-    /// Backchannel request-loss coins (fault model).
+    /// 6 — fault model: backchannel request-transit coins, one per send
+    /// (position depends only on the send count, never on server state).
     pub const FAULT_REQ: u64 = 6;
-    /// Retry backoff jitter (fault model).
+    /// 7 — retry backoff jitter (`bpp_client::retry`), drawn only when
+    /// `jitter > 0`; mirrored as `bpp_client::streams::RETRY`.
     pub const RETRY: u64 = 7;
 }
 
@@ -640,6 +673,7 @@ impl Model for World {
                 let decision = self.mux.decide(self.queue.is_empty(), &mut self.rng_mux);
                 let page = match decision {
                     SlotDecision::ServePull => {
+                        // bpp-lint: allow(D3): the MUX decides ServePull only when queue_empty is false
                         let p = self.queue.pop().expect("MUX only pulls when non-empty");
                         self.slots.pull_pages += 1;
                         Some(p)
@@ -767,6 +801,13 @@ impl Model for World {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `bpp-client` cannot depend on this crate, so it mirrors its one
+    /// registry entry; the mirror must track the canonical id forever.
+    #[test]
+    fn client_retry_stream_mirror_matches() {
+        assert_eq!(bpp_client::streams::RETRY, streams::RETRY);
+    }
 
     fn quick_cfg(algorithm: Algorithm) -> SystemConfig {
         let mut c = SystemConfig::small();

@@ -1,0 +1,31 @@
+//! Fixture crate root: stream-discipline violations (D1), suppression
+//! directives (good, unknown-rule, and malformed — D0), and a deliberately
+//! missing `#![forbid(unsafe_code)]` attribute (D6).
+
+/* A nested /* block comment */ still counts as one comment. */
+
+pub fn disciplined(seed: u64) -> u64 {
+    // Follows the discipline: named registry constant, never flagged.
+    let _rng = stream_rng(seed, streams::RETRY);
+    seed
+}
+
+pub fn magic_literals(seed: u64) -> u64 {
+    let _rng = stream_rng(seed, 3);
+    let _seq = SeedSeq::root(seed).named(9);
+    seed
+}
+
+pub fn suppressed_demo(v: Option<u32>) -> u32 {
+    // bpp-lint: allow(D3): fixture demonstrating a justified suppression
+    v.unwrap()
+}
+
+// bpp-lint: allow(D9): unknown rule names are themselves reported
+// bpp-lint: deny(D1)
+pub fn tricky_lexing<'a>(r: &'a str) -> &'a str {
+    let _raw = r##"not code: stream_rng(seed, 42) inside a raw string"##;
+    let _byte = b'\'';
+    let _ch = 'a';
+    r
+}

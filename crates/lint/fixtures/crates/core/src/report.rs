@@ -1,0 +1,25 @@
+//! Fixture: a one-sided JSON key rename — `to_json` writes `beta` while
+//! `from_json` reads `gamma` — which rule D5 must report as drift.
+
+pub struct Summary {
+    alpha: f64,
+    beta: f64,
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("alpha", self.alpha.to_json()),
+            ("beta", self.beta.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Summary {
+            alpha: field(v, "alpha")?,
+            beta: field(v, "gamma")?,
+        })
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture registry: one undocumented entry and one duplicated stream id,
+//! both of which rule D1's registry check must report.
+
+pub mod streams {
+    /// 0 -- server bandwidth MUX coin (documented, unique: never flagged).
+    pub const MUX: u64 = 0;
+    pub const MC: u64 = 1;
+    /// 1 -- duplicates `MC` on purpose.
+    pub const VC: u64 = 1;
+}

@@ -1,0 +1,469 @@
+//! A small, exact Rust lexer for static analysis.
+//!
+//! `bpp-lint` rules operate on token streams, not source text, so string
+//! literals, comments and lifetimes can never masquerade as code (a
+//! `"stream_rng"` inside a message must not trip the stream-discipline
+//! rule). The lexer therefore has to get the genuinely tricky corners of
+//! the Rust lexical grammar right:
+//!
+//! * nested block comments (`/* /* */ */` is one comment);
+//! * raw strings with arbitrary hash fences (`r##"…"##`), raw byte strings
+//!   (`br#"…"#`), and raw identifiers (`r#fn`);
+//! * the char-literal / lifetime ambiguity (`'a'` is a char, `<'a>` holds a
+//!   lifetime, `b'\''` is an escaped byte char);
+//! * float literals versus ranges (`1.0e-3` is one float; `1..2` is int,
+//!   range operator, int; `1.max(2)` is int, dot, ident);
+//! * multi-character operators (`::`, `==`, `..=`, `<<=`, …) emitted as
+//!   single tokens so rules can match on them directly.
+//!
+//! The lexer keeps comments in the stream — the rule engine reads
+//! suppression directives out of them — and records the 1-based start line
+//! of every token for diagnostics. Only ASCII identifiers are recognised
+//! (the workspace contains no others); any byte the grammar cannot place
+//! yields a [`LexError`] rather than a silently skipped character.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#fn`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A character literal, escapes included (`'a'`, `'\''`, `'\u{1F600}'`).
+    Char,
+    /// A byte literal (`b'x'`, `b'\''`).
+    ByteChar,
+    /// An ordinary string literal with escapes (`"…"`).
+    Str,
+    /// A raw string literal (`r"…"`, `r##"…"##`).
+    RawStr,
+    /// A byte-string literal (`b"…"`).
+    ByteStr,
+    /// A raw byte-string literal (`br#"…"#`).
+    RawByteStr,
+    /// An integer literal, prefix/suffix/underscores included (`0xFF_u8`).
+    Int,
+    /// A float literal (`1.0`, `1.`, `1e-3`, `2.5f32`).
+    Float,
+    /// A `//` comment, doc comments included, without the newline.
+    LineComment,
+    /// A `/* … */` comment, nesting included.
+    BlockComment,
+    /// A single- or multi-character operator or delimiter (`::`, `==`, `{`).
+    Punct,
+}
+
+/// One lexed token: its class, exact source text, and 1-based start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The token's exact source text.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+/// A lexical error: something the grammar cannot place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending byte.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Cursor over the source bytes with line tracking.
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Lex `src` into a full token stream (comments included).
+///
+/// # Errors
+/// Returns the first [`LexError`] encountered: an unterminated literal or
+/// comment, or a byte that no token can start with.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let line = cur.line;
+        let start = cur.pos;
+        let kind = lex_one(&mut cur, b)?;
+        let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+        out.push(Token { kind, text, line });
+    }
+    Ok(out)
+}
+
+/// Lex exactly one token starting at `cur` (first byte already peeked).
+fn lex_one(cur: &mut Cursor<'_>, b: u8) -> Result<TokenKind, LexError> {
+    // Comments before operators: `//` and `/*` outrank `/` and `/=`.
+    if cur.starts_with("//") {
+        return line_comment(cur);
+    }
+    if cur.starts_with("/*") {
+        return block_comment(cur);
+    }
+    // Literal prefixes before identifiers: r"…", r#"…"#, b"…", b'…', br"…",
+    // and raw identifiers r#ident.
+    if b == b'r' || b == b'b' {
+        if let Some(kind) = literal_prefix(cur)? {
+            return Ok(kind);
+        }
+    }
+    if is_ident_start(b) {
+        return ident(cur);
+    }
+    if b.is_ascii_digit() {
+        return number(cur);
+    }
+    match b {
+        b'\'' => char_or_lifetime(cur),
+        b'"' => string(cur, TokenKind::Str),
+        _ => operator(cur),
+    }
+}
+
+fn line_comment(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    while let Some(b) = cur.peek(0) {
+        if b == b'\n' {
+            break;
+        }
+        cur.bump();
+    }
+    Ok(TokenKind::LineComment)
+}
+
+fn block_comment(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    let open = cur.line;
+    cur.bump();
+    cur.bump();
+    let mut depth = 1u32;
+    while depth > 0 {
+        if cur.starts_with("/*") {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+        } else if cur.starts_with("*/") {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+        } else if cur.bump().is_none() {
+            return Err(LexError {
+                line: open,
+                msg: "unterminated block comment".into(),
+            });
+        }
+    }
+    Ok(TokenKind::BlockComment)
+}
+
+/// Handle tokens introduced by `r` or `b`: raw strings, byte strings, byte
+/// chars, raw identifiers. Returns `None` when the `r`/`b` is just the
+/// start of an ordinary identifier.
+fn literal_prefix(cur: &mut Cursor<'_>) -> Result<Option<TokenKind>, LexError> {
+    // Raw identifier r#ident (but not raw string r#"…").
+    if cur.starts_with("r#") {
+        if cur.peek(2).is_some_and(is_ident_start) {
+            cur.bump();
+            cur.bump();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            return Ok(Some(TokenKind::Ident));
+        }
+        return raw_string(cur, 1, TokenKind::RawStr).map(Some);
+    }
+    if cur.starts_with("r\"") {
+        return raw_string(cur, 1, TokenKind::RawStr).map(Some);
+    }
+    if cur.starts_with("br") && matches!(cur.peek(2), Some(b'"') | Some(b'#')) {
+        return raw_string(cur, 2, TokenKind::RawByteStr).map(Some);
+    }
+    if cur.starts_with("b\"") {
+        cur.bump();
+        return string(cur, TokenKind::ByteStr).map(Some);
+    }
+    if cur.starts_with("b'") {
+        cur.bump();
+        return char_literal(cur, TokenKind::ByteChar).map(Some);
+    }
+    Ok(None)
+}
+
+/// Lex a raw (byte) string: `prefix_len` bytes of `r`/`br`, then `#…#"…"#…#`.
+fn raw_string(
+    cur: &mut Cursor<'_>,
+    prefix_len: usize,
+    kind: TokenKind,
+) -> Result<TokenKind, LexError> {
+    let open = cur.line;
+    for _ in 0..prefix_len {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.bump() != Some(b'"') {
+        return Err(cur.err("expected opening quote of raw string"));
+    }
+    loop {
+        match cur.bump() {
+            Some(b'"') => {
+                let mut matched = 0usize;
+                while matched < hashes && cur.peek(0) == Some(b'#') {
+                    matched += 1;
+                    cur.bump();
+                }
+                if matched == hashes {
+                    return Ok(kind);
+                }
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    line: open,
+                    msg: "unterminated raw string".into(),
+                })
+            }
+        }
+    }
+}
+
+fn ident(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    Ok(TokenKind::Ident)
+}
+
+/// Lex a number. Decides int vs float, and refuses to eat the dot of a
+/// range (`1..2`) or of a method call on a literal (`1.max(2)`).
+fn number(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    let radix_prefix = cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b");
+    if radix_prefix {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_hexdigit() || b == b'_')
+        {
+            cur.bump();
+        }
+        // Type suffix (0xFFu8). Hex digits already consumed above.
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return Ok(TokenKind::Int);
+    }
+    let mut is_float = false;
+    digits(cur);
+    // A fractional part begins only if the dot is NOT the start of a range
+    // (`..`) and NOT a method/field access (`.max`, `._0` is fine: `_`
+    // starts an identifier, so `1._0` lexes as a call — matching rustc,
+    // which rejects it as a literal).
+    if cur.peek(0) == Some(b'.')
+        && cur.peek(1) != Some(b'.')
+        && !cur.peek(1).is_some_and(is_ident_start)
+    {
+        is_float = true;
+        cur.bump();
+        digits(cur);
+    }
+    // An exponent begins only if `e`/`E` is followed by digits (with an
+    // optional sign); otherwise the letter is a suffix (`2u64`).
+    if matches!(cur.peek(0), Some(b'e') | Some(b'E')) {
+        let after_sign = match cur.peek(1) {
+            Some(b'+') | Some(b'-') => 2,
+            _ => 1,
+        };
+        if cur.peek(after_sign).is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            cur.bump();
+            if matches!(cur.peek(0), Some(b'+') | Some(b'-')) {
+                cur.bump();
+            }
+            digits(cur);
+        }
+    }
+    // Type suffix: f32/f64 force float; u*/i* stay int.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let suffix_start = cur.pos;
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        let suffix = &cur.src[suffix_start..cur.pos];
+        if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+            is_float = true;
+        }
+    }
+    Ok(if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    })
+}
+
+fn digits(cur: &mut Cursor<'_>) {
+    while cur.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        cur.bump();
+    }
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime) at an opening quote.
+fn char_or_lifetime(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    // An escape can only start a char literal.
+    if cur.peek(1) == Some(b'\\') {
+        return char_literal(cur, TokenKind::Char);
+    }
+    // `'X'` with a closing quote right after one character is a char;
+    // `'Xyz` running into identifier characters is a lifetime.
+    if cur.peek(1).is_some_and(is_ident_start) && cur.peek(2) != Some(b'\'') {
+        cur.bump(); // the quote
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return Ok(TokenKind::Lifetime);
+    }
+    char_literal(cur, TokenKind::Char)
+}
+
+/// Lex a (byte) char literal; the cursor sits on the opening quote.
+fn char_literal(cur: &mut Cursor<'_>, kind: TokenKind) -> Result<TokenKind, LexError> {
+    cur.bump(); // opening quote
+    match cur.bump() {
+        Some(b'\\') => {
+            escape(cur)?;
+        }
+        Some(b'\'') => return Err(cur.err("empty char literal")),
+        Some(_) => {}
+        None => return Err(cur.err("unterminated char literal")),
+    }
+    if cur.bump() != Some(b'\'') {
+        return Err(cur.err("unterminated char literal"));
+    }
+    Ok(kind)
+}
+
+/// Consume the body of an escape sequence (the `\` is already consumed).
+fn escape(cur: &mut Cursor<'_>) -> Result<(), LexError> {
+    match cur.bump() {
+        Some(b'x') => {
+            cur.bump();
+            cur.bump();
+        }
+        Some(b'u') => {
+            if cur.peek(0) == Some(b'{') {
+                while let Some(b) = cur.bump() {
+                    if b == b'}' {
+                        break;
+                    }
+                }
+            }
+        }
+        Some(_) => {}
+        None => return Err(cur.err("unterminated escape sequence")),
+    }
+    Ok(())
+}
+
+/// Lex a string literal with escapes; the cursor sits on the opening quote.
+fn string(cur: &mut Cursor<'_>, kind: TokenKind) -> Result<TokenKind, LexError> {
+    let open = cur.line;
+    cur.bump();
+    loop {
+        match cur.bump() {
+            Some(b'"') => return Ok(kind),
+            Some(b'\\') => escape(cur)?,
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    line: open,
+                    msg: "unterminated string literal".into(),
+                })
+            }
+        }
+    }
+}
+
+/// Lex an operator or delimiter, multi-character operators greedily.
+fn operator(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    for op in OPERATORS {
+        if cur.starts_with(op) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return Ok(TokenKind::Punct);
+        }
+    }
+    let b = cur.peek(0).unwrap_or(b'?');
+    if b.is_ascii_graphic() {
+        cur.bump();
+        Ok(TokenKind::Punct)
+    } else {
+        Err(cur.err(format!("unexpected byte 0x{b:02x}")))
+    }
+}

@@ -1,0 +1,198 @@
+//! # bpp-lint — in-tree determinism & hygiene static analysis
+//!
+//! The reproduction's headline guarantee — every experiment is bit-for-bit
+//! deterministic from one `u64` seed — is a property of the *whole*
+//! workspace, not of any single call site: one magic RNG stream id, one
+//! wall-clock read, or one `HashMap` iteration anywhere in a sim-affecting
+//! crate silently re-randomises published numbers. `bpp-lint` enforces
+//! those invariants the same way the workspace does everything else:
+//! fully in-tree, zero external dependencies.
+//!
+//! The binary lexes every `.rs` file in the workspace with a real Rust
+//! lexer ([`lexer`]) and evaluates the rule set ([`rules`]) over the token
+//! streams, honouring `// bpp-lint: allow(<rule>)` suppression comments.
+//! Diagnostics are ordered deterministically (file path, then line, then
+//! rule), and `--json` emits a machine-readable report via `bpp-json` that
+//! is byte-for-byte reproducible — the `results/lint_fixture.json` golden
+//! test pins it.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bpp-lint            # human-readable report
+//! cargo run --release -p bpp-lint -- --deny  # CI gate: nonzero exit on findings
+//! cargo run --release -p bpp-lint -- --json  # machine-readable report
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use bpp_json::{Json, ToJson};
+use rules::{check_file, Diagnostic, SourceFile, Suppressions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS state, the
+/// lint crate's own violation fixtures, and committed experiment results.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "results"];
+
+/// The outcome of linting a tree.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The root label the report was produced for (as given, not
+    /// canonicalized, so reports are machine-independent).
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Surviving diagnostics, sorted by (file, line, rule, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics silenced by `bpp-lint: allow` directives.
+    pub suppressed: usize,
+}
+
+impl ToJson for Diagnostic {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("file", self.file.to_json()),
+            ("line", u64::from(self.line).to_json()),
+            ("rule", self.rule.to_json()),
+            ("message", self.message.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("version", 1u64.to_json()),
+            ("root", self.root.to_json()),
+            ("files", (self.files as u64).to_json()),
+            ("diagnostics", self.diagnostics.to_json()),
+            ("suppressed", (self.suppressed as u64).to_json()),
+        ])
+    }
+}
+
+impl Report {
+    /// The pretty-printed JSON document (trailing newline included), the
+    /// exact bytes the golden test pins.
+    pub fn to_json_string(&self) -> String {
+        let mut s = bpp_json::to_string_pretty(self);
+        s.push('\n');
+        s
+    }
+
+    /// Human-readable `file:line: rule: message` lines plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: {}: {}\n",
+                d.file, d.line, d.rule, d.message
+            ));
+        }
+        out.push_str(&format!(
+            "bpp-lint: {} file(s), {} diagnostic(s), {} suppressed\n",
+            self.files,
+            self.diagnostics.len(),
+            self.suppressed
+        ));
+        out
+    }
+}
+
+/// The workspace root, derived from this crate's manifest directory at
+/// compile time (robust to whatever directory the binary is run from).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Recursively collect root-relative paths of `.rs` files under `dir`,
+/// skipping [`SKIP_DIRS`]. Paths use forward slashes on every platform.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one already-lexed file: evaluate rules, apply suppressions.
+/// Returns surviving diagnostics and the count of suppressed ones.
+pub fn lint_file(file: &SourceFile) -> (Vec<Diagnostic>, usize) {
+    let sup = Suppressions::parse(file);
+    let mut out: Vec<Diagnostic> = sup
+        .problems
+        .iter()
+        .map(|(line, msg)| Diagnostic {
+            file: file.rel.clone(),
+            line: *line,
+            rule: "D0",
+            message: msg.clone(),
+        })
+        .collect();
+    let mut suppressed = 0usize;
+    for d in check_file(file) {
+        if sup.covers(d.rule, d.line) {
+            suppressed += 1;
+        } else {
+            out.push(d);
+        }
+    }
+    (out, suppressed)
+}
+
+/// Lint every `.rs` file under `root`, labelling the report with
+/// `root_label` (kept verbatim so output does not depend on the machine's
+/// absolute paths).
+pub fn lint_root(root: &Path, root_label: &str) -> io::Result<Report> {
+    let mut rels = Vec::new();
+    collect_rs(root, root, &mut rels)?;
+    rels.sort();
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    for rel in &rels {
+        let src =
+            std::fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
+        match lexer::lex(&src) {
+            Ok(tokens) => {
+                let file = SourceFile::new(rel.clone(), tokens);
+                let (d, s) = lint_file(&file);
+                diagnostics.extend(d);
+                suppressed += s;
+            }
+            Err(e) => diagnostics.push(Diagnostic {
+                file: rel.clone(),
+                line: e.line,
+                rule: "D0",
+                message: format!("lexer error: {}", e.msg),
+            }),
+        }
+    }
+    diagnostics.sort();
+    Ok(Report {
+        root: root_label.to_string(),
+        files: rels.len(),
+        diagnostics,
+        suppressed,
+    })
+}

@@ -1,0 +1,76 @@
+//! `bpp-lint` CLI: lint the workspace (or `--root <path>`) and print a
+//! human-readable or `--json` report; `--deny` exits nonzero on findings.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bpp-lint — determinism & hygiene static analysis for the bpp workspace
+
+USAGE:
+    bpp-lint [--root <path>] [--json] [--deny] [--list-rules]
+
+OPTIONS:
+    --root <path>   Lint this tree instead of the workspace root; the
+                    report's `root` field echoes the given path verbatim.
+    --json          Emit the machine-readable JSON report on stdout.
+    --deny          Exit with status 1 if any diagnostic survives
+                    suppression (the CI gate).
+    --list-rules    Print the rule registry and exit.
+    -h, --help      Show this help.
+";
+
+fn main() -> ExitCode {
+    let mut root_arg: Option<String> = None;
+    let mut json = false;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(p),
+                None => {
+                    eprintln!("bpp-lint: --root requires a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for (id, summary) in bpp_lint::rules::RULES {
+                    println!("{id}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bpp-lint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (root, label) = match &root_arg {
+        Some(p) => (std::path::PathBuf::from(p), p.clone()),
+        None => (bpp_lint::workspace_root(), ".".to_string()),
+    };
+    let report = match bpp_lint::lint_root(&root, &label) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bpp-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.to_json_string());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if deny && !report.diagnostics.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,26 @@
+//! `bpp-lint` must run clean on its own workspace — the same invariant
+//! `scripts/ci.sh` gates on with `--deny`.
+
+use bpp_lint::{lint_root, workspace_root};
+
+#[test]
+fn workspace_lints_clean() {
+    let report = lint_root(&workspace_root(), ".").expect("workspace must be walkable");
+    assert!(
+        report.diagnostics.is_empty(),
+        "bpp-lint found diagnostics in its own workspace:\n{}",
+        report.render_human()
+    );
+    // Sanity: the walk actually visited the workspace (every crate has at
+    // least a lib.rs or main.rs, so far more than the crate count).
+    assert!(
+        report.files > 20,
+        "suspiciously few files scanned: {}",
+        report.files
+    );
+    // The tree carries justified suppressions; the count must reflect them.
+    assert!(
+        report.suppressed > 0,
+        "expected at least one suppressed diagnostic in the workspace"
+    );
+}

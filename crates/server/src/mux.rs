@@ -7,6 +7,7 @@
 //! thus, PullBW is only an upper limit on the bandwidth used to satisfy
 //! backchannel requests."
 
+use bpp_sim::approx::exactly_zero;
 use bpp_sim::rng::Rng;
 
 /// What the next broadcast slot should carry.
@@ -49,7 +50,7 @@ impl BandwidthMux {
     /// Decide the next slot. `queue_empty` short-circuits the coin: an empty
     /// queue always continues the push program.
     pub fn decide<R: Rng + ?Sized>(&self, queue_empty: bool, rng: &mut R) -> SlotDecision {
-        if queue_empty || self.pull_bw == 0.0 {
+        if queue_empty || exactly_zero(self.pull_bw) {
             return SlotDecision::ContinuePush;
         }
         if self.pull_bw >= 1.0 || rng.random::<f64>() < self.pull_bw {

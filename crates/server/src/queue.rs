@@ -160,6 +160,7 @@ impl RequestQueue {
         if self.order.len() >= self.capacity {
             match self.overflow {
                 OverflowPolicy::DropOldest if !self.order.is_empty() => {
+                    // bpp-lint: allow(D3): guarded by the at-capacity branch: a full queue has a front
                     let old = self.order.pop_front().expect("non-empty");
                     self.pending.remove(&old);
                     self.stats.dropped_evicted += 1;
@@ -187,6 +188,7 @@ impl RequestQueue {
                     .iter()
                     .enumerate()
                     .max_by_key(|&(i, p)| (self.pending[p], std::cmp::Reverse(i)))?;
+                // bpp-lint: allow(D3): idx was just produced by position() over this very deque
                 self.order.remove(idx).expect("index valid")
             }
         };

@@ -61,11 +61,11 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to get (earliest time, lowest seq)
-        // at the top. Times are guaranteed non-NaN at insertion.
+        // at the top. Times are non-NaN at insertion, where total_cmp
+        // agrees with IEEE ordering, so no panic path is needed.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are never NaN")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

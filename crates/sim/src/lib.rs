@@ -53,10 +53,14 @@
 //! assert_eq!(engine.now(), 9.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod approx;
 pub mod engine;
 pub mod rng;
 pub mod stats;
 
+pub use approx::{approx_eq, exactly, exactly_zero};
 pub use engine::{Engine, EventId, Model, Scheduler, Time};
 pub use rng::{stream_rng, Rng, Sample, SeedSeq, Xoshiro256pp};
 pub use stats::{autocorrelation, BatchMeans, Confidence, Ewma, Histogram, TimeWeighted, Welford};

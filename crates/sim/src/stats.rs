@@ -416,7 +416,7 @@ impl TimeWeighted {
 
     /// Time-average of the signal up to the last update.
     pub fn average(&self) -> f64 {
-        if self.span == 0.0 {
+        if crate::approx::exactly_zero(self.span) {
             self.last_value
         } else {
             self.weighted_sum / self.span

@@ -50,8 +50,9 @@ impl AliasTable {
                 large.push(i as u32);
             }
         }
-        while !small.is_empty() && !large.is_empty() {
-            let (s, l) = (small.pop().unwrap(), large.pop().unwrap());
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
             accept[s as usize] = scaled[s as usize];
             alias[s as usize] = l;
             scaled[l as usize] -= 1.0 - scaled[s as usize];

@@ -10,6 +10,7 @@
 //! larger values scramble progressively more of the mapping, so the pages
 //! the MC wants are no longer the ones the program favours.
 
+use bpp_sim::approx::exactly_zero;
 use bpp_sim::rng::Rng;
 
 /// A rank → item permutation produced by the noise process.
@@ -38,7 +39,7 @@ impl NoisePermutation {
         assert!((0.0..=1.0).contains(&noise), "noise must be in [0,1]");
         let mut p = Self::identity(n);
         p.noise = noise;
-        if noise == 0.0 || n < 2 {
+        if exactly_zero(noise) || n < 2 {
             return p;
         }
         for r in 0..n {

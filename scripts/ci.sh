@@ -13,6 +13,11 @@ cargo test -q --frozen
 # gate on it explicitly so a filtered/partial test invocation can't skip it.
 cargo test -q --frozen -p bpp-core --test faults
 cargo clippy --all-targets --frozen -- -D warnings
+
+# Determinism & hygiene static analysis (see DESIGN.md "Static analysis"):
+# nonzero exit on any unsuppressed diagnostic.
+cargo run --release --frozen -p bpp-lint -- --deny
+
 cargo fmt --check
 
 # Fault-model regression: a fixed-seed loss-sweep cell must reproduce the

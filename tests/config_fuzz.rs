@@ -7,6 +7,7 @@
 //! every knob from `stream_rng(SEED, i)`, so any failure reproduces from
 //! the case index alone.
 
+// bpp-lint: allow-file(D1): property cases derive per-case RNG streams from the case index
 use bpp_core::{
     run_steady_state, Algorithm, CachePolicy, FaultConfig, MeasurementProtocol, QueueDiscipline,
     SystemConfig,
