@@ -111,6 +111,16 @@ impl RetryPolicy {
                 self.jitter
             ));
         }
+        // A run that arms five-digit retry budgets per request is a
+        // misconfiguration, not an experiment: each retry costs at least
+        // `base_timeout` simulated units, so 10k retries exceeds any
+        // `max_sim_time` the protocol allows.
+        if self.max_retries > 10_000 {
+            return Err(format!(
+                "retry max_retries must be <= 10000, got {}",
+                self.max_retries
+            ));
+        }
         Ok(())
     }
 }
@@ -304,6 +314,16 @@ mod tests {
             ..RetryPolicy::standard()
         };
         assert!(bad_timeout.validate().unwrap_err().contains("base_timeout"));
+        let bad_budget = RetryPolicy {
+            max_retries: 10_001,
+            ..RetryPolicy::standard()
+        };
+        assert!(bad_budget.validate().unwrap_err().contains("max_retries"));
+        let max_budget = RetryPolicy {
+            max_retries: 10_000,
+            ..RetryPolicy::standard()
+        };
+        assert!(max_budget.validate().is_ok());
     }
 
     #[test]

@@ -291,6 +291,15 @@ pub enum ConfigError {
         /// The offending value.
         f64,
     ),
+    /// `zipf_theta` is negative or non-finite (θ = 0 is uniform access,
+    /// valid; a negative skew inverts the popularity order).
+    InvalidZipfTheta(
+        /// The offending value.
+        f64,
+    ),
+    /// `server_queue_size` is zero — the backchannel needs somewhere to
+    /// queue at least one request (Pure-Push simply never enqueues).
+    EmptyQueue,
     /// `update_rate` is negative or non-finite.
     InvalidUpdateRate(
         /// The offending value.
@@ -368,6 +377,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NonPositiveThinkTimeRatio(v) => {
                 write!(f, "ThinkTimeRatio must be positive, got {v}")
             }
+            ConfigError::InvalidZipfTheta(v) => {
+                write!(f, "zipf_theta must be finite and >= 0, got {v}")
+            }
+            ConfigError::EmptyQueue => write!(f, "server_queue_size must be positive"),
             ConfigError::InvalidUpdateRate(v) => {
                 write!(f, "update_rate must be finite and >= 0, got {v}")
             }
@@ -576,6 +589,19 @@ impl SystemConfig {
     /// violations at once (a sweep driver or config-file user sees the
     /// complete damage in one pass instead of fixing panics one by one).
     pub fn validate(&self) -> Result<(), ConfigErrors> {
+        // Knobs with no invalid values — enums, flags, and the seed — are
+        // named here so that every field of the struct is either checked
+        // below or visibly declared check-free (rule D8 keeps this in
+        // sync: dropping a field from validate() is a lint error, not a
+        // silent hole).
+        let SystemConfig {
+            mc_cache_policy: _,
+            queue_discipline: _,
+            mc_prefetch: _,
+            seed: _,
+            ..
+        } = self;
+        let FaultConfig { overflow: _, .. } = &self.fault;
         let mut errs = Vec::new();
         if self.db_size == 0 {
             errs.push(ConfigError::EmptyDatabase);
@@ -610,6 +636,12 @@ impl SystemConfig {
         }
         if !(self.update_rate >= 0.0 && self.update_rate.is_finite()) {
             errs.push(ConfigError::InvalidUpdateRate(self.update_rate));
+        }
+        if !(self.zipf_theta >= 0.0 && self.zipf_theta.is_finite()) {
+            errs.push(ConfigError::InvalidZipfTheta(self.zipf_theta));
+        }
+        if self.server_queue_size == 0 {
+            errs.push(ConfigError::EmptyQueue);
         }
         for (field, value) in [
             ("steady_state_perc", self.steady_state_perc),
@@ -796,6 +828,40 @@ impl MeasurementProtocol {
             max_sim_time: 5.0e6,
         }
     }
+
+    /// Check the protocol's parameters, returning a description of the
+    /// first problem found. The caps (`skip_accesses`,
+    /// `max_warmup_accesses`) accept any value including 0 and are named
+    /// here check-free.
+    pub fn validate(&self) -> Result<(), String> {
+        let MeasurementProtocol {
+            skip_accesses: _,
+            max_warmup_accesses: _,
+            ..
+        } = self;
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".to_string());
+        }
+        if self.min_batches == 0 {
+            return Err("min_batches must be positive".to_string());
+        }
+        if !self.rel_precision.is_finite() || self.rel_precision <= 0.0 {
+            return Err(format!(
+                "rel_precision must be finite and positive, got {}",
+                self.rel_precision
+            ));
+        }
+        if self.max_accesses == 0 {
+            return Err("max_accesses must be positive".to_string());
+        }
+        if !self.max_sim_time.is_finite() || self.max_sim_time <= 0.0 {
+            return Err(format!(
+                "max_sim_time must be finite and positive, got {}",
+                self.max_sim_time
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl ToJson for MeasurementProtocol {
@@ -913,6 +979,45 @@ mod tests {
                 db_size: 100
             }]
         );
+    }
+
+    #[test]
+    fn invalid_zipf_theta_is_reported() {
+        let mut c = SystemConfig::small();
+        c.zipf_theta = -0.5;
+        assert_eq!(errors_of(&c), vec![ConfigError::InvalidZipfTheta(-0.5)]);
+        c.zipf_theta = f64::NAN;
+        assert_eq!(errors_of(&c).len(), 1);
+        c.zipf_theta = 0.0; // uniform access is valid
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_server_queue_is_reported() {
+        let mut c = SystemConfig::small();
+        c.server_queue_size = 0;
+        assert_eq!(errors_of(&c), vec![ConfigError::EmptyQueue]);
+    }
+
+    #[test]
+    fn measurement_protocol_bounds() {
+        MeasurementProtocol::paper().validate().unwrap();
+        MeasurementProtocol::quick().validate().unwrap();
+        let mut p = MeasurementProtocol::quick();
+        p.batch_size = 0;
+        assert!(p.validate().unwrap_err().contains("batch_size"));
+        p = MeasurementProtocol::quick();
+        p.rel_precision = 0.0;
+        assert!(p.validate().unwrap_err().contains("rel_precision"));
+        p = MeasurementProtocol::quick();
+        p.max_sim_time = f64::INFINITY;
+        assert!(p.validate().unwrap_err().contains("max_sim_time"));
+        p = MeasurementProtocol::quick();
+        p.min_batches = 0;
+        assert!(p.validate().unwrap_err().contains("min_batches"));
+        p = MeasurementProtocol::quick();
+        p.max_accesses = 0;
+        assert!(p.validate().unwrap_err().contains("max_accesses"));
     }
 
     #[test]

@@ -393,7 +393,9 @@ impl World {
                 mc_invalidations: 0,
             }),
             rng_mux: stream_rng(cfg.seed, streams::MUX),
+            // bpp-lint: allow(D7): client-owned bpp-workload samplers draw on the MC stream; every draw is client-initiated
             rng_mc: stream_rng(cfg.seed, streams::MC),
+            // bpp-lint: allow(D7): client-owned bpp-workload samplers draw on the VC stream; every draw is client-initiated
             rng_vc: stream_rng(cfg.seed, streams::VC),
             protocol: *protocol,
             phase,

@@ -1,0 +1,5 @@
+//! D0 fixture: this file does not lex — the string literal never closes.
+
+fn main() {
+    let s = "unterminated;
+}

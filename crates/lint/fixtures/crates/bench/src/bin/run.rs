@@ -1,0 +1,6 @@
+//! Fixture bench entry point: the D10 reachability seed set.
+
+fn main() {
+    let rows = fig3_rows();
+    write_csv("results/used.csv", rows);
+}

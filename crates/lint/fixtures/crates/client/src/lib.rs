@@ -21,7 +21,7 @@ pub fn suppressed_demo(v: Option<u32>) -> u32 {
     v.unwrap()
 }
 
-// bpp-lint: allow(D9): unknown rule names are themselves reported
+// bpp-lint: allow(D99): unknown rule names are themselves reported
 // bpp-lint: deny(D1)
 pub fn tricky_lexing<'a>(r: &'a str) -> &'a str {
     let _raw = r##"not code: stream_rng(seed, 42) inside a raw string"##;

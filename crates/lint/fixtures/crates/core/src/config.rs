@@ -1,0 +1,42 @@
+//! D8 fixture: a config struct whose fields drift off the
+//! serialization/validation/documentation surfaces.
+//!
+//! `db_size` is fully covered. `zipf_theta` was dropped from `validate()`.
+//! `seed` was added to the struct and `to_json` but forgotten in
+//! `from_json` (papered over with `..Default::default()`), never
+//! validated, and never documented in the fixture DESIGN.md.
+
+pub struct SystemConfig {
+    pub db_size: usize,
+    pub zipf_theta: f64,
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.db_size == 0 {
+            return Err("db_size must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for SystemConfig {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("db_size", self.db_size.to_json()),
+            ("zipf_theta", self.zipf_theta.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SystemConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SystemConfig {
+            db_size: field(v, "db_size")?,
+            zipf_theta: field(v, "zipf_theta")?,
+            ..Default::default()
+        })
+    }
+}

@@ -1,0 +1,14 @@
+//! D10 fixtures: experiment grids, two of them orphaned.
+
+/// Reached from the bench entry point via `fig3_rows` — never flagged.
+pub const TTR_GRID: [u32; 3] = [10, 25, 50];
+
+/// D10: no bench binary can reach this grid anymore.
+pub const OLD_TTR_GRID: [u32; 2] = [100, 250];
+
+/// D10: the figure this fed was rewired long ago.
+pub const ABANDONED_NOISE_GRID: [f64; 2] = [0.15, 0.35];
+
+pub fn fig3_rows() -> Vec<u32> {
+    TTR_GRID.to_vec()
+}

@@ -1,0 +1,14 @@
+//! D9 fixtures: arithmetic mixing broadcast units, counts, and ratios.
+
+pub fn mixed(wait_bu: f64, hits_count: f64, miss_ratio: f64) -> f64 {
+    // D9: adding a count to a duration.
+    let total = wait_bu + hits_count;
+    // D9: comparing a duration against a ratio.
+    if wait_bu < miss_ratio {
+        return total;
+    }
+    // Fine: multiplication legitimately changes units.
+    let scaled_bu = wait_bu * miss_ratio;
+    // Fine: same unit class on both sides.
+    total + scaled_bu
+}

@@ -1,0 +1,7 @@
+//! Fixture server component: consumer of a wandering RNG handle (D7).
+//! The missing `#![forbid(unsafe_code)]` (D6) is suppressed file-wide via
+//! the root `lint_allow.txt`, demonstrating the allowlist path.
+
+pub fn serve_slot(rng: &mut Rng) -> u64 {
+    rng.next_u64()
+}

@@ -142,6 +142,21 @@ impl<'a> Cursor<'a> {
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let mut cur = Cursor::new(src);
     let mut out = Vec::new();
+    // A shebang (`#!/usr/bin/env …` on the very first line) is stripped by
+    // rustc before lexing; treat it as a line comment so cargo-script-style
+    // files lex. `#![attr]` is NOT a shebang — the `[` keeps it an inner
+    // attribute, exactly rustc's disambiguation.
+    if cur.starts_with("#!") && cur.peek(2) != Some(b'[') {
+        let line = cur.line;
+        let start = cur.pos;
+        line_comment(&mut cur)?;
+        let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+        out.push(Token {
+            kind: TokenKind::LineComment,
+            text,
+            line,
+        });
+    }
     while let Some(b) = cur.peek(0) {
         if b.is_ascii_whitespace() {
             cur.bump();

@@ -16,9 +16,17 @@ OPTIONS:
                     report's `root` field echoes the given path verbatim.
     --json          Emit the machine-readable JSON report on stdout.
     --deny          Exit with status 1 if any diagnostic survives
-                    suppression (the CI gate).
+                    suppression, or status 3 if the lexer itself failed
+                    on any file (the CI gate).
     --list-rules    Print the rule registry and exit.
     -h, --help      Show this help.
+
+EXIT CODES:
+    0   clean, or report-only mode (no --deny)
+    1   --deny and at least one diagnostic survived suppression
+    2   usage or I/O error
+    3   --deny and an internal lexer/parse failure (takes precedence
+        over 1: the lint is broken there, not the code)
 ";
 
 fn main() -> ExitCode {
@@ -69,8 +77,13 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.render_human());
     }
-    if deny && !report.diagnostics.is_empty() {
-        return ExitCode::FAILURE;
+    if deny {
+        if report.internal_errors > 0 {
+            return ExitCode::from(3);
+        }
+        if !report.diagnostics.is_empty() {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,146 @@
+//! Rule D8: config-surface coverage.
+//!
+//! A config field that silently stops being validated (or serialized, or
+//! documented) is how experiment sweeps drift: the knob still exists, the
+//! JSON still round-trips the rest, and nobody notices the hole until a
+//! published figure disagrees with the paper. The paper's sweeps
+//! (`ThinkTimeRatio`, `Noise`, the Figs. 3–8 grids) are driven entirely
+//! through these structs, so every named field must reach every surface.
+//!
+//! For each non-test struct with named fields that has **both** an
+//! `impl ToJson` and an `impl FromJson` in its defining file (the
+//! workspace convention for config/report types), the rule requires each
+//! field name to appear:
+//!
+//! * in the `ToJson` impl body,
+//! * in the `FromJson` impl body,
+//! * in some `fn validate` body in the same file — when the file defines
+//!   one (fields without a checkable constraint are acknowledged there
+//!   with a `field: _` destructuring, which is exactly the point: removing
+//!   a field's check must be a visible, deliberate act),
+//! * backticked in DESIGN.md's config table — for the named config
+//!   structs ([`DESIGN_STRUCTS`]) and only when the linted root carries a
+//!   `DESIGN.md`.
+//!
+//! "Appear" means an identifier token equal to the field name, or a
+//! string literal containing it with non-identifier characters on both
+//! sides (so `"fault.broadcast_loss"` counts for `broadcast_loss`, while
+//! `"broadcast_loss_x"` does not). One diagnostic per field lists every
+//! missing surface at the field's declaration line.
+
+use super::{diag, Diagnostic};
+use crate::graph::{Analysis, Workspace};
+use crate::lexer::TokenKind;
+
+/// Structs whose fields must also appear in DESIGN.md's config table.
+pub const DESIGN_STRUCTS: [&str; 2] = ["SystemConfig", "FaultConfig"];
+
+/// Entry point: run the surface check over every file.
+pub fn d8_config_surface(ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+    for a in ws.files.iter() {
+        check_file(ws, a, out);
+    }
+}
+
+fn check_file(ws: &Workspace<'_>, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let f = &a.file;
+    // validate() bodies anywhere in this file (SystemConfig::validate
+    // legitimately validates FaultConfig's fields, so the union is the
+    // surface, not any single fn).
+    let validate_bodies: Vec<(usize, usize)> = a
+        .items
+        .fns
+        .iter()
+        .filter(|item| item.name == "validate" && !f.in_test(item.line))
+        .filter_map(|item| item.body)
+        .collect();
+    for s in &a.items.structs {
+        if s.fields.is_empty() || f.in_test(s.line) {
+            continue;
+        }
+        let impl_body = |trait_name: &str| {
+            a.items
+                .impls
+                .iter()
+                .find(|im| {
+                    im.type_name == s.name
+                        && im.trait_name.as_deref() == Some(trait_name)
+                        && !f.in_test(im.line)
+                })
+                .map(|im| im.body)
+        };
+        let (Some(to_body), Some(from_body)) = (impl_body("ToJson"), impl_body("FromJson")) else {
+            continue; // not a serialized config/report type
+        };
+        let is_design = DESIGN_STRUCTS.contains(&s.name.as_str());
+        for field in &s.fields {
+            let mut missing: Vec<&str> = Vec::new();
+            if !appears(a, to_body, &field.name) {
+                missing.push("ToJson");
+            }
+            if !appears(a, from_body, &field.name) {
+                missing.push("FromJson");
+            }
+            if !validate_bodies.is_empty()
+                && !validate_bodies.iter().any(|&b| appears(a, b, &field.name))
+            {
+                missing.push("validate()");
+            }
+            if is_design {
+                if let Some(design) = &ws.design_md {
+                    if !design.contains(&format!("`{}`", field.name)) {
+                        missing.push("DESIGN.md config table");
+                    }
+                }
+            }
+            if !missing.is_empty() {
+                out.push(diag(
+                    f,
+                    field.line,
+                    "D8",
+                    format!(
+                        "config field `{}` of `{}` missing from surface(s): {}",
+                        field.name,
+                        s.name,
+                        missing.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether `name` appears in the code-token range `[b.0, b.1)` as an
+/// identifier or inside a string literal with word boundaries.
+fn appears(a: &Analysis, b: (usize, usize), name: &str) -> bool {
+    let f = &a.file;
+    for k in b.0..b.1 {
+        match f.kind(k) {
+            Some(TokenKind::Ident) if f.text(k) == name => return true,
+            Some(TokenKind::Str) | Some(TokenKind::RawStr) if contains_word(f.text(k), name) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Whether `hay` contains `needle` bounded by non-identifier characters.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = hay[from..].find(needle) {
+        let start = from + at;
+        let end = start + needle.len();
+        let left_ok = start == 0
+            || !hay.as_bytes()[start - 1].is_ascii_alphanumeric()
+                && hay.as_bytes()[start - 1] != b'_';
+        let right_ok = end == hay.len()
+            || !hay.as_bytes()[end].is_ascii_alphanumeric() && hay.as_bytes()[end] != b'_';
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}

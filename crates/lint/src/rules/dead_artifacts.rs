@@ -1,0 +1,140 @@
+//! Rule D10: dead-artifact detection.
+//!
+//! Two kinds of rot accumulate in a long-lived experiment repo:
+//!
+//! 1. **Dead grids** — a `const` sweep grid in
+//!    `crates/core/src/experiments.rs` that no `crates/bench/src/bin/*`
+//!    entry point can reach anymore (the figure it fed was rewired), so
+//!    its values silently stop meaning anything;
+//! 2. **Orphan goldens** — a `results/*.csv` / `results/*.json` file that
+//!    no experiment, test, or CI script references, which will never be
+//!    regenerated and never fail a comparison.
+//!
+//! Grid reachability is a fixpoint over identifier mentions: the seed set
+//! is every identifier appearing in a bench binary; any `fn` or `const`
+//! in `experiments.rs` whose name is reachable contributes the
+//! identifiers of its body/value, until closure. This over-approximates
+//! (a mention in dead code counts) — deliberately, since D10 is a
+//! delete-me detector, not a proof system.
+//!
+//! An artifact is referenced when its file name — or its stem, or the
+//! stem with a trailing `_drops` variant suffix removed — appears in any
+//! string literal of any scanned `.rs` file, or anywhere in the raw text
+//! of `scripts/*` / `.github/workflows/*`.
+
+use super::{diag, Diagnostic};
+use crate::graph::Workspace;
+use crate::lexer::TokenKind;
+use std::collections::BTreeSet;
+
+const EXPERIMENTS: &str = "crates/core/src/experiments.rs";
+const BENCH_BIN_PREFIX: &str = "crates/bench/src/bin/";
+
+/// Entry point: both D10 checks.
+pub fn d10_dead_artifacts(ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+    dead_grids(ws, out);
+    orphan_goldens(ws, out);
+}
+
+fn dead_grids(ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(exp) = ws.files.iter().find(|a| a.file.rel == EXPERIMENTS) else {
+        return;
+    };
+    // Seed: every identifier mentioned in any bench entry point.
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    for a in ws.files.iter() {
+        if !a.file.rel.starts_with(BENCH_BIN_PREFIX) {
+            continue;
+        }
+        for k in 0..a.file.code.len() {
+            if a.file.kind(k) == Some(TokenKind::Ident) {
+                reachable.insert(a.file.text(k).to_string());
+            }
+        }
+    }
+    // Closure over experiments.rs items.
+    loop {
+        let mut changed = false;
+        for item in &exp.items.fns {
+            let Some(body) = item.body else { continue };
+            if exp.file.in_test(item.line) || !reachable.contains(&item.name) {
+                continue;
+            }
+            changed |= absorb_idents(exp, body, &mut reachable);
+        }
+        for c in &exp.items.consts {
+            if exp.file.in_test(c.line) || !reachable.contains(&c.name) {
+                continue;
+            }
+            changed |= absorb_idents(exp, c.value, &mut reachable);
+        }
+        if !changed {
+            break;
+        }
+    }
+    for c in &exp.items.consts {
+        if exp.file.in_test(c.line) || reachable.contains(&c.name) {
+            continue;
+        }
+        out.push(diag(
+            &exp.file,
+            c.line,
+            "D10",
+            format!(
+                "experiment grid `{}` is unreachable from every {BENCH_BIN_PREFIX}* entry point \
+                 — delete it or wire it to a figure",
+                c.name
+            ),
+        ));
+    }
+}
+
+/// Insert every identifier in `[range.0, range.1)` into `set`; reports
+/// whether anything new appeared.
+fn absorb_idents(
+    a: &crate::graph::Analysis,
+    range: (usize, usize),
+    set: &mut BTreeSet<String>,
+) -> bool {
+    let mut changed = false;
+    for k in range.0..range.1 {
+        if a.file.kind(k) == Some(TokenKind::Ident) && !set.contains(a.file.text(k)) {
+            set.insert(a.file.text(k).to_string());
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn orphan_goldens(ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+    for name in &ws.artifacts {
+        let stem = name.rsplit_once('.').map_or(name.as_str(), |(s, _)| s);
+        let base = stem.strip_suffix("_drops").unwrap_or(stem);
+        let referenced = ws.files.iter().any(|a| {
+            (0..a.file.code.len()).any(|k| {
+                matches!(
+                    a.file.kind(k),
+                    Some(TokenKind::Str) | Some(TokenKind::RawStr)
+                ) && {
+                    let s = a.file.text(k);
+                    s.contains(stem) || s.contains(base)
+                }
+            })
+        }) || ws
+            .reference_texts
+            .iter()
+            .any(|t| t.contains(name.as_str()) || t.contains(stem));
+        if !referenced {
+            out.push(Diagnostic {
+                file: format!("results/{name}"),
+                line: 1,
+                rule: "D10",
+                message: format!(
+                    "results artifact `{name}` is referenced by no experiment, test, or script \
+                     — delete it or add the comparison back"
+                ),
+                suggestion: None,
+            });
+        }
+    }
+}

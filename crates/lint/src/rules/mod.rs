@@ -1,0 +1,455 @@
+//! The `bpp-lint` rule engine: scopes, suppressions, and rules D0–D10.
+//!
+//! Rules come in two layers. The **token rules** (D1–D6, [`tokens`]; D9,
+//! [`units`]) run over the token stream of one file at a time (see
+//! [`crate::lexer`]) and need no cross-file state. The **semantic rules**
+//! (D7 [`stream_flow`], D8 [`config_surface`], D10 [`dead_artifacts`])
+//! run over a [`crate::graph::Workspace`] built from the item structure
+//! ([`crate::parse`]) of every file, so they can follow an RNG handle
+//! across a function boundary or notice a struct field missing from a
+//! serialization surface. Either way the report order is a pure function
+//! of the sorted file list — no hashing, no filesystem order.
+//!
+//! Each rule documents its scope and its heuristic precisely — a lexical
+//! checker cannot do type inference, so where a rule approximates (D2's
+//! map-name tracking, D7's name-based call resolution) the approximation
+//! is stated and conservative.
+//!
+//! ## Suppression grammar
+//!
+//! Diagnostics are suppressed by plain `//` line comments (doc comments
+//! are never scanned, so documentation may quote directives freely):
+//!
+//! ```text
+//! // bpp-lint: allow(D3): holds because <one-line justification>
+//! // bpp-lint: allow(D1, D2)
+//! // bpp-lint: allow-file(D1): whole-file justification
+//! ```
+//!
+//! `allow` covers the comment's own line and the line directly below it
+//! (so both trailing and preceding placements work); `allow-file` covers
+//! the whole file. A root-level `lint_allow.txt` may hold file-wide
+//! entries (`D3 crates/foo/src/bar.rs # why`) for trees where editing the
+//! source is not wanted; an entry naming a file that is not scanned is
+//! itself a `D0` diagnostic so the list cannot rot. Rule names must be
+//! drawn from the registry below — a typo'd or unknown name is reported
+//! (rule `D0`), so a suppression can never rot silently. `D0` cannot be
+//! suppressed.
+
+pub mod config_surface;
+pub mod dead_artifacts;
+pub mod stream_flow;
+pub mod tokens;
+pub mod units;
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A machine-applicable fix attached to a diagnostic where the rewrite is
+/// unambiguous. Never applied automatically — emitted in the `--json`
+/// report for tooling to offer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suggestion {
+    /// 1-based line the suggestion applies to.
+    pub line: u32,
+    /// `"replace"` (swap the flagged expression on that line for `text`)
+    /// or `"insert"` (add `text` as a new line above `line`).
+    pub kind: &'static str,
+    /// The replacement / inserted source text.
+    pub text: String,
+}
+
+/// One finding: file, 1-based line, rule id, human-readable message, and
+/// optionally a machine-applicable [`Suggestion`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path relative to the linted root, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id (`"D1"` … `"D10"`, or `"D0"` for lint-integrity findings).
+    pub rule: &'static str,
+    /// What went wrong and how to fix it.
+    pub message: String,
+    /// An unambiguous rewrite, when one exists (D4, D6).
+    pub suggestion: Option<Suggestion>,
+}
+
+/// The rule registry: id and one-line summary, in report order.
+pub const RULES: [(&str, &str); 11] = [
+    ("D0", "lint integrity: lexer failures and malformed/unknown/stale suppressions"),
+    ("D1", "stream-discipline: stream_rng/.named must use streams::* constants; registry unique+documented"),
+    ("D2", "nondeterminism ban: Instant/SystemTime/thread spawn/HashMap-HashSet iteration in sim-affecting crates"),
+    ("D3", "panic hygiene: no unwrap()/expect()/panic!() in non-test library code"),
+    ("D4", "float-eq: no ==/!= against float literals; route through bpp_sim::approx"),
+    ("D5", "JSON-key drift: to_json/from_json impls in a file must use matching key sets"),
+    ("D6", "every crate lib.rs must carry #![forbid(unsafe_code)]"),
+    ("D7", "stream-flow: one RNG stream, one component — no shared handles, no duplicate construction sites"),
+    ("D8", "config-surface: every config field must reach ToJson, FromJson, validate(), and DESIGN.md"),
+    ("D9", "time-unit discipline: no mixed arithmetic between *_bu, *_count, and *_ratio values"),
+    ("D10", "dead artifacts: unreachable experiment grids and unreferenced results/ goldens"),
+];
+
+/// Crates whose code feeds simulation results; rule D2's blast radius.
+pub(crate) const SIM_AFFECTING: [&str; 7] = [
+    "sim",
+    "broadcast",
+    "cache",
+    "client",
+    "server",
+    "workload",
+    "core",
+];
+
+/// Where a file sits in the workspace, derived from its relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scope {
+    /// `crates/<name>/…` → `Some(name)`.
+    pub crate_name: Option<String>,
+    /// Under `crates/*/src/` but not `src/bin/` — "library code".
+    pub library: bool,
+    /// Exactly `crates/<name>/src/lib.rs`.
+    pub lib_rs: bool,
+}
+
+impl Scope {
+    /// Classify a root-relative path (forward slashes).
+    pub fn of(rel: &str) -> Scope {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_name = (parts.len() >= 2 && parts[0] == "crates").then(|| parts[1].to_string());
+        let library =
+            parts.len() >= 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] != "bin";
+        let lib_rs = library && parts.len() == 4 && parts[3] == "lib.rs";
+        Scope {
+            crate_name,
+            library,
+            lib_rs,
+        }
+    }
+
+    pub(crate) fn sim_affecting(&self) -> bool {
+        self.crate_name
+            .as_deref()
+            .is_some_and(|c| SIM_AFFECTING.contains(&c))
+    }
+}
+
+/// A lexed file ready for rule evaluation.
+pub struct SourceFile {
+    /// Root-relative path, forward slashes.
+    pub rel: String,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens ("code tokens").
+    pub code: Vec<usize>,
+    /// Path-derived scope.
+    pub scope: Scope,
+    /// Inclusive line ranges covered by `#[test]`/`#[cfg(test)]` items.
+    pub test_lines: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Build a file from its relative path and token stream.
+    pub fn new(rel: String, tokens: Vec<Token>) -> SourceFile {
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let scope = Scope::of(&rel);
+        let mut f = SourceFile {
+            rel,
+            tokens,
+            code,
+            scope,
+            test_lines: Vec::new(),
+        };
+        f.test_lines = f.find_test_regions();
+        f
+    }
+
+    /// Code token at code-index `k`.
+    pub fn t(&self, k: usize) -> Option<&Token> {
+        self.code.get(k).map(|&i| &self.tokens[i])
+    }
+
+    /// Text of code token `k`, or `""` past the end.
+    pub fn text(&self, k: usize) -> &str {
+        self.t(k).map_or("", |t| t.text.as_str())
+    }
+
+    /// Kind of code token `k`, or `None` past the end.
+    pub fn kind(&self, k: usize) -> Option<TokenKind> {
+        self.t(k).map(|t| t.kind)
+    }
+
+    /// Line of code token `k`, or `0` past the end.
+    pub fn line(&self, k: usize) -> u32 {
+        self.t(k).map_or(0, |t| t.line)
+    }
+
+    /// Whether `line` falls inside a `#[test]`/`#[cfg(test)]` region.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_lines
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// Line ranges of items annotated with an attribute that mentions
+    /// `test` (`#[test]`, `#[cfg(test)]`). The region runs from the
+    /// attribute to the closing brace of the annotated item (or its `;`).
+    fn find_test_regions(&self) -> Vec<(u32, u32)> {
+        let mut regions = Vec::new();
+        let n = self.code.len();
+        let mut k = 0;
+        while k < n {
+            // Outer attribute `#[…]` (inner `#![…]` never marks a test item).
+            if self.text(k) == "#" && self.text(k + 1) == "[" {
+                let start_line = self.line(k);
+                let mut j = k + 2;
+                let mut depth = 1i32;
+                let mut mentions_test = false;
+                while j < n && depth > 0 {
+                    match self.text(j) {
+                        "[" => depth += 1,
+                        "]" => depth -= 1,
+                        "test" if self.kind(j) == Some(TokenKind::Ident) => mentions_test = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if mentions_test {
+                    // Skip any further attributes on the same item.
+                    while self.text(j) == "#" && self.text(j + 1) == "[" {
+                        let mut d = 1i32;
+                        j += 2;
+                        while j < n && d > 0 {
+                            match self.text(j) {
+                                "[" => d += 1,
+                                "]" => d -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    // The item body: first `{` balanced to its close, or a
+                    // leading-`;` item (e.g. an annotated `use`).
+                    let mut end_line = start_line;
+                    while j < n {
+                        match self.text(j) {
+                            ";" => {
+                                end_line = self.line(j);
+                                break;
+                            }
+                            "{" => {
+                                let mut d = 1i32;
+                                j += 1;
+                                while j < n && d > 0 {
+                                    match self.text(j) {
+                                        "{" => d += 1,
+                                        "}" => d -= 1,
+                                        _ => {}
+                                    }
+                                    if d == 0 {
+                                        end_line = self.line(j);
+                                    }
+                                    j += 1;
+                                }
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    regions.push((start_line, end_line.max(start_line)));
+                    k = j;
+                    continue;
+                }
+                k = j;
+                continue;
+            }
+            k += 1;
+        }
+        regions
+    }
+}
+
+/// Parsed suppression directives for one file.
+pub struct Suppressions {
+    file_rules: BTreeSet<String>,
+    line_rules: BTreeMap<u32, BTreeSet<String>>,
+    /// D0 findings produced while parsing (unknown rule names, bad syntax).
+    pub problems: Vec<(u32, String)>,
+}
+
+impl Suppressions {
+    /// Scan a file's comment tokens for `bpp-lint:` directives.
+    pub fn parse(file: &SourceFile) -> Suppressions {
+        let mut s = Suppressions {
+            file_rules: BTreeSet::new(),
+            line_rules: BTreeMap::new(),
+            problems: Vec::new(),
+        };
+        for tok in &file.tokens {
+            // Only plain `//` comments carry directives: doc comments
+            // (`///`, `//!`) may quote the grammar without engaging it.
+            if tok.kind != TokenKind::LineComment
+                || tok.text.starts_with("///")
+                || tok.text.starts_with("//!")
+            {
+                continue;
+            }
+            let Some(at) = tok.text.find("bpp-lint:") else {
+                continue;
+            };
+            let rest = tok.text[at + "bpp-lint:".len()..].trim_start();
+            let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+                (true, r)
+            } else if let Some(r) = rest.strip_prefix("allow") {
+                (false, r)
+            } else {
+                s.problems.push((
+                    tok.line,
+                    "malformed bpp-lint directive: expected `allow(...)` or `allow-file(...)`"
+                        .to_string(),
+                ));
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(inner) = rest
+                .strip_prefix('(')
+                .and_then(|r| r.split_once(')'))
+                .map(|(inner, _)| inner)
+            else {
+                s.problems.push((
+                    tok.line,
+                    "malformed bpp-lint directive: missing rule list `(D1, ...)`".to_string(),
+                ));
+                continue;
+            };
+            for name in inner.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                if !known_rule(name) {
+                    s.problems.push((
+                        tok.line,
+                        format!("unknown rule `{name}` in bpp-lint suppression"),
+                    ));
+                    continue;
+                }
+                if file_wide {
+                    s.file_rules.insert(name.to_string());
+                } else {
+                    s.line_rules
+                        .entry(tok.line)
+                        .or_default()
+                        .insert(name.to_string());
+                }
+            }
+        }
+        s
+    }
+
+    /// Whether a diagnostic of `rule` at `line` is suppressed.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        if self.file_rules.contains(rule) {
+            return true;
+        }
+        // A directive covers its own line and the line directly below.
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.line_rules.get(l).is_some_and(|r| r.contains(rule)))
+    }
+
+    /// Add a file-wide suppression (used by the root `lint_allow.txt`).
+    pub fn add_file_rule(&mut self, rule: &str) {
+        self.file_rules.insert(rule.to_string());
+    }
+}
+
+/// Whether `name` is a suppressible registry rule (`D0` is not).
+pub fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|(id, _)| *id == name && *id != "D0")
+}
+
+/// Run every single-file rule over one file; returns raw
+/// (unsuppressed-unfiltered) diagnostics. The caller applies
+/// [`Suppressions`] and sorting. Cross-file rules (D7, D8, D10) run
+/// separately over the whole workspace — see [`crate::graph`].
+pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    tokens::d1_stream_discipline(f, &mut out);
+    tokens::d1_registry(f, &mut out);
+    tokens::d2_nondeterminism(f, &mut out);
+    tokens::d3_panic_hygiene(f, &mut out);
+    tokens::d4_float_eq(f, &mut out);
+    tokens::d5_json_key_drift(f, &mut out);
+    tokens::d6_forbid_unsafe(f, &mut out);
+    units::d9_unit_discipline(f, &mut out);
+    out
+}
+
+pub(crate) fn diag(f: &SourceFile, line: u32, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: f.rel.clone(),
+        line,
+        rule,
+        message,
+        suggestion: None,
+    }
+}
+
+/// Split the argument list of a call whose `(` sits at code-index `open`.
+/// Returns `(code-index ranges of each top-level argument, index past `)`)`.
+pub(crate) fn call_args(f: &SourceFile, open: usize) -> (Vec<(usize, usize)>, usize) {
+    let mut args = Vec::new();
+    let mut depth = 1i32;
+    let mut k = open + 1;
+    let mut arg_start = k;
+    while let Some(tok) = f.t(k) {
+        match tok.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if k > arg_start {
+                        args.push((arg_start, k));
+                    }
+                    return (args, k + 1);
+                }
+            }
+            "," if depth == 1 => {
+                args.push((arg_start, k));
+                arg_start = k + 1;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (args, k)
+}
+
+/// Whether the code tokens in `[a, b)` form a path through a `streams`
+/// module (`streams::X`, `simulation::streams::X`, …).
+pub(crate) fn is_streams_path(f: &SourceFile, a: usize, b: usize) -> bool {
+    (a..b.saturating_sub(2)).any(|k| {
+        f.text(k) == "streams" && f.text(k + 1) == "::" && f.kind(k + 2) == Some(TokenKind::Ident)
+    })
+}
+
+/// The `streams::X` constant name inside `[a, b)`, if any.
+pub(crate) fn streams_const(f: &SourceFile, a: usize, b: usize) -> Option<String> {
+    (a..b.saturating_sub(2)).find_map(|k| {
+        (f.text(k) == "streams" && f.text(k + 1) == "::" && f.kind(k + 2) == Some(TokenKind::Ident))
+            .then(|| f.text(k + 2).to_string())
+    })
+}
+
+pub(crate) fn arg_text(f: &SourceFile, a: usize, b: usize) -> String {
+    let mut s = String::new();
+    for k in a..b {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(f.text(k));
+    }
+    s
+}

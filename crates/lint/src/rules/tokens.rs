@@ -1,67 +1,13 @@
-//! The `bpp-lint` rule engine: scopes, suppressions, and rules D1–D6.
+//! Single-file token rules D1–D6.
 //!
-//! Rules run over the token stream of one file at a time (see
-//! [`crate::lexer`]); cross-file state is deliberately avoided so the
-//! report order is a pure function of the sorted file list. Each rule
-//! documents its scope and its heuristic precisely — a token-level checker
-//! cannot do type inference, so where a rule approximates (D2's map-name
-//! tracking, D4's literal-adjacency test) the approximation is stated and
-//! conservative.
-//!
-//! ## Suppression grammar
-//!
-//! Diagnostics are suppressed by plain `//` line comments (doc comments
-//! are never scanned, so documentation may quote directives freely):
-//!
-//! ```text
-//! // bpp-lint: allow(D3): holds because <one-line justification>
-//! // bpp-lint: allow(D1, D2)
-//! // bpp-lint: allow-file(D1): whole-file justification
-//! ```
-//!
-//! `allow` covers the comment's own line and the line directly below it
-//! (so both trailing and preceding placements work); `allow-file` covers
-//! the whole file. Rule names must be drawn from the registry below —
-//! a typo'd or unknown name is itself reported (rule `D0`), so a
-//! suppression can never rot silently. `D0` cannot be suppressed.
+//! These run over one [`SourceFile`] at a time and match flat token
+//! patterns; see the module docs in [`crate::rules`] for the engine and
+//! suppression model. D4 and D6 attach machine-applicable
+//! [`Suggestion`]s where the rewrite is unambiguous.
 
-use crate::lexer::{Token, TokenKind};
+use super::{arg_text, call_args, diag, is_streams_path, Diagnostic, SourceFile, Suggestion};
+use crate::lexer::TokenKind;
 use std::collections::{BTreeMap, BTreeSet};
-
-/// One finding: file, 1-based line, rule id, human-readable message.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct Diagnostic {
-    /// Path relative to the linted root, forward slashes.
-    pub file: String,
-    /// 1-based source line.
-    pub line: u32,
-    /// Rule id (`"D1"` … `"D6"`, or `"D0"` for lint-integrity findings).
-    pub rule: &'static str,
-    /// What went wrong and how to fix it.
-    pub message: String,
-}
-
-/// The rule registry: id and one-line summary, in report order.
-pub const RULES: [(&str, &str); 7] = [
-    ("D0", "lint integrity: lexer failures and malformed/unknown suppressions"),
-    ("D1", "stream-discipline: stream_rng/.named must use streams::* constants; registry unique+documented"),
-    ("D2", "nondeterminism ban: Instant/SystemTime/thread spawn/HashMap-HashSet iteration in sim-affecting crates"),
-    ("D3", "panic hygiene: no unwrap()/expect()/panic!() in non-test library code"),
-    ("D4", "float-eq: no ==/!= against float literals; route through bpp_sim::approx"),
-    ("D5", "JSON-key drift: to_json/from_json impls in a file must use matching key sets"),
-    ("D6", "every crate lib.rs must carry #![forbid(unsafe_code)]"),
-];
-
-/// Crates whose code feeds simulation results; rule D2's blast radius.
-const SIM_AFFECTING: [&str; 7] = [
-    "sim",
-    "broadcast",
-    "cache",
-    "client",
-    "server",
-    "workload",
-    "core",
-];
 
 /// Map-iteration adaptors rule D2 flags on `HashMap`/`HashSet` bindings.
 const ITER_METHODS: [&str; 7] = [
@@ -74,339 +20,10 @@ const ITER_METHODS: [&str; 7] = [
     "retain",
 ];
 
-/// Where a file sits in the workspace, derived from its relative path.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Scope {
-    /// `crates/<name>/…` → `Some(name)`.
-    pub crate_name: Option<String>,
-    /// Under `crates/*/src/` but not `src/bin/` — "library code".
-    pub library: bool,
-    /// Exactly `crates/<name>/src/lib.rs`.
-    pub lib_rs: bool,
-}
-
-impl Scope {
-    /// Classify a root-relative path (forward slashes).
-    pub fn of(rel: &str) -> Scope {
-        let parts: Vec<&str> = rel.split('/').collect();
-        let crate_name = (parts.len() >= 2 && parts[0] == "crates").then(|| parts[1].to_string());
-        let library =
-            parts.len() >= 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] != "bin";
-        let lib_rs = library && parts.len() == 4 && parts[3] == "lib.rs";
-        Scope {
-            crate_name,
-            library,
-            lib_rs,
-        }
-    }
-
-    fn sim_affecting(&self) -> bool {
-        self.crate_name
-            .as_deref()
-            .is_some_and(|c| SIM_AFFECTING.contains(&c))
-    }
-}
-
-/// A lexed file ready for rule evaluation.
-pub struct SourceFile {
-    /// Root-relative path, forward slashes.
-    pub rel: String,
-    /// Full token stream, comments included.
-    pub tokens: Vec<Token>,
-    /// Indices into `tokens` of non-comment tokens ("code tokens").
-    pub code: Vec<usize>,
-    /// Path-derived scope.
-    pub scope: Scope,
-    /// Inclusive line ranges covered by `#[test]`/`#[cfg(test)]` items.
-    pub test_lines: Vec<(u32, u32)>,
-}
-
-impl SourceFile {
-    /// Build a file from its relative path and token stream.
-    pub fn new(rel: String, tokens: Vec<Token>) -> SourceFile {
-        let code: Vec<usize> = tokens
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
-            .map(|(i, _)| i)
-            .collect();
-        let scope = Scope::of(&rel);
-        let mut f = SourceFile {
-            rel,
-            tokens,
-            code,
-            scope,
-            test_lines: Vec::new(),
-        };
-        f.test_lines = f.find_test_regions();
-        f
-    }
-
-    /// Code token at code-index `k`.
-    fn t(&self, k: usize) -> Option<&Token> {
-        self.code.get(k).map(|&i| &self.tokens[i])
-    }
-
-    /// Text of code token `k`, or `""` past the end.
-    fn text(&self, k: usize) -> &str {
-        self.t(k).map_or("", |t| t.text.as_str())
-    }
-
-    fn kind(&self, k: usize) -> Option<TokenKind> {
-        self.t(k).map(|t| t.kind)
-    }
-
-    fn line(&self, k: usize) -> u32 {
-        self.t(k).map_or(0, |t| t.line)
-    }
-
-    fn in_test(&self, line: u32) -> bool {
-        self.test_lines
-            .iter()
-            .any(|&(a, b)| (a..=b).contains(&line))
-    }
-
-    /// Line ranges of items annotated with an attribute that mentions
-    /// `test` (`#[test]`, `#[cfg(test)]`). The region runs from the
-    /// attribute to the closing brace of the annotated item (or its `;`).
-    fn find_test_regions(&self) -> Vec<(u32, u32)> {
-        let mut regions = Vec::new();
-        let n = self.code.len();
-        let mut k = 0;
-        while k < n {
-            // Outer attribute `#[…]` (inner `#![…]` never marks a test item).
-            if self.text(k) == "#" && self.text(k + 1) == "[" {
-                let start_line = self.line(k);
-                let mut j = k + 2;
-                let mut depth = 1i32;
-                let mut mentions_test = false;
-                while j < n && depth > 0 {
-                    match self.text(j) {
-                        "[" => depth += 1,
-                        "]" => depth -= 1,
-                        "test" if self.kind(j) == Some(TokenKind::Ident) => mentions_test = true,
-                        _ => {}
-                    }
-                    j += 1;
-                }
-                if mentions_test {
-                    // Skip any further attributes on the same item.
-                    while self.text(j) == "#" && self.text(j + 1) == "[" {
-                        let mut d = 1i32;
-                        j += 2;
-                        while j < n && d > 0 {
-                            match self.text(j) {
-                                "[" => d += 1,
-                                "]" => d -= 1,
-                                _ => {}
-                            }
-                            j += 1;
-                        }
-                    }
-                    // The item body: first `{` balanced to its close, or a
-                    // leading-`;` item (e.g. an annotated `use`).
-                    let mut end_line = start_line;
-                    while j < n {
-                        match self.text(j) {
-                            ";" => {
-                                end_line = self.line(j);
-                                break;
-                            }
-                            "{" => {
-                                let mut d = 1i32;
-                                j += 1;
-                                while j < n && d > 0 {
-                                    match self.text(j) {
-                                        "{" => d += 1,
-                                        "}" => d -= 1,
-                                        _ => {}
-                                    }
-                                    if d == 0 {
-                                        end_line = self.line(j);
-                                    }
-                                    j += 1;
-                                }
-                                break;
-                            }
-                            _ => j += 1,
-                        }
-                    }
-                    regions.push((start_line, end_line.max(start_line)));
-                    k = j;
-                    continue;
-                }
-                k = j;
-                continue;
-            }
-            k += 1;
-        }
-        regions
-    }
-}
-
-/// Parsed suppression directives for one file.
-pub struct Suppressions {
-    file_rules: BTreeSet<String>,
-    line_rules: BTreeMap<u32, BTreeSet<String>>,
-    /// D0 findings produced while parsing (unknown rule names, bad syntax).
-    pub problems: Vec<(u32, String)>,
-}
-
-impl Suppressions {
-    /// Scan a file's comment tokens for `bpp-lint:` directives.
-    pub fn parse(file: &SourceFile) -> Suppressions {
-        let mut s = Suppressions {
-            file_rules: BTreeSet::new(),
-            line_rules: BTreeMap::new(),
-            problems: Vec::new(),
-        };
-        for tok in &file.tokens {
-            // Only plain `//` comments carry directives: doc comments
-            // (`///`, `//!`) may quote the grammar without engaging it.
-            if tok.kind != TokenKind::LineComment
-                || tok.text.starts_with("///")
-                || tok.text.starts_with("//!")
-            {
-                continue;
-            }
-            let Some(at) = tok.text.find("bpp-lint:") else {
-                continue;
-            };
-            let rest = tok.text[at + "bpp-lint:".len()..].trim_start();
-            let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
-                (true, r)
-            } else if let Some(r) = rest.strip_prefix("allow") {
-                (false, r)
-            } else {
-                s.problems.push((
-                    tok.line,
-                    "malformed bpp-lint directive: expected `allow(...)` or `allow-file(...)`"
-                        .to_string(),
-                ));
-                continue;
-            };
-            let rest = rest.trim_start();
-            let Some(inner) = rest
-                .strip_prefix('(')
-                .and_then(|r| r.split_once(')'))
-                .map(|(inner, _)| inner)
-            else {
-                s.problems.push((
-                    tok.line,
-                    "malformed bpp-lint directive: missing rule list `(D1, ...)`".to_string(),
-                ));
-                continue;
-            };
-            for name in inner.split(',').map(str::trim).filter(|n| !n.is_empty()) {
-                let known = RULES.iter().any(|(id, _)| *id == name && *id != "D0");
-                if !known {
-                    s.problems.push((
-                        tok.line,
-                        format!("unknown rule `{name}` in bpp-lint suppression"),
-                    ));
-                    continue;
-                }
-                if file_wide {
-                    s.file_rules.insert(name.to_string());
-                } else {
-                    s.line_rules
-                        .entry(tok.line)
-                        .or_default()
-                        .insert(name.to_string());
-                }
-            }
-        }
-        s
-    }
-
-    /// Whether a diagnostic of `rule` at `line` is suppressed.
-    pub fn covers(&self, rule: &str, line: u32) -> bool {
-        if self.file_rules.contains(rule) {
-            return true;
-        }
-        // A directive covers its own line and the line directly below.
-        [line, line.saturating_sub(1)]
-            .iter()
-            .any(|l| self.line_rules.get(l).is_some_and(|r| r.contains(rule)))
-    }
-}
-
-/// Run every rule over one file; returns raw (unsuppressed-unfiltered)
-/// diagnostics. The caller applies [`Suppressions`] and sorting.
-pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    d1_stream_discipline(f, &mut out);
-    d1_registry(f, &mut out);
-    d2_nondeterminism(f, &mut out);
-    d3_panic_hygiene(f, &mut out);
-    d4_float_eq(f, &mut out);
-    d5_json_key_drift(f, &mut out);
-    d6_forbid_unsafe(f, &mut out);
-    out
-}
-
-fn diag(f: &SourceFile, line: u32, rule: &'static str, message: String) -> Diagnostic {
-    Diagnostic {
-        file: f.rel.clone(),
-        line,
-        rule,
-        message,
-    }
-}
-
-/// Split the argument list of a call whose `(` sits at code-index `open`.
-/// Returns `(code-index ranges of each top-level argument, index past `)`)`.
-fn call_args(f: &SourceFile, open: usize) -> (Vec<(usize, usize)>, usize) {
-    let mut args = Vec::new();
-    let mut depth = 1i32;
-    let mut k = open + 1;
-    let mut arg_start = k;
-    while let Some(tok) = f.t(k) {
-        match tok.text.as_str() {
-            "(" | "[" | "{" => depth += 1,
-            ")" | "]" | "}" => {
-                depth -= 1;
-                if depth == 0 {
-                    if k > arg_start {
-                        args.push((arg_start, k));
-                    }
-                    return (args, k + 1);
-                }
-            }
-            "," if depth == 1 => {
-                args.push((arg_start, k));
-                arg_start = k + 1;
-            }
-            _ => {}
-        }
-        k += 1;
-    }
-    (args, k)
-}
-
-/// Whether the code tokens in `[a, b)` form a path through a `streams`
-/// module (`streams::X`, `simulation::streams::X`, …).
-fn is_streams_path(f: &SourceFile, a: usize, b: usize) -> bool {
-    (a..b.saturating_sub(2)).any(|k| {
-        f.text(k) == "streams" && f.text(k + 1) == "::" && f.kind(k + 2) == Some(TokenKind::Ident)
-    })
-}
-
-fn arg_text(f: &SourceFile, a: usize, b: usize) -> String {
-    let mut s = String::new();
-    for k in a..b {
-        if !s.is_empty() {
-            s.push(' ');
-        }
-        s.push_str(f.text(k));
-    }
-    s
-}
-
 /// D1 (call sites): outside `crates/sim`, the stream argument of
 /// `stream_rng(seed, s)` and `SeedSeq::named(s)` must be a `streams::*`
 /// constant — never a magic literal or free variable.
-fn d1_stream_discipline(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub fn d1_stream_discipline(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if f.scope.crate_name.as_deref() == Some("sim") {
         return; // the discipline's own home defines and tests raw streams
     }
@@ -438,7 +55,7 @@ fn d1_stream_discipline(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// D1 (registry): `crates/core/src/simulation.rs` holds the single source
 /// of truth — a `streams` module whose `const` ids are unique and each
 /// carry a doc comment naming the owner.
-fn d1_registry(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub fn d1_registry(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if f.rel != "crates/core/src/simulation.rs" {
         return;
     }
@@ -526,7 +143,7 @@ fn d1_registry(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// of sim-affecting crates. Map bindings are tracked by name within the
 /// file (`x: HashMap<…>` or `let x = HashMap::new()`), a deliberately
 /// simple file-local heuristic.
-fn d2_nondeterminism(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub fn d2_nondeterminism(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !f.scope.sim_affecting() || !f.scope.library {
         return;
     }
@@ -629,7 +246,7 @@ fn d2_nondeterminism(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// D3: `unwrap()`, `expect(…)` and `panic!(…)` are banned in non-test
 /// library code. Invariant-backed sites keep `expect` with a message and an
 /// `allow(D3)` justification; everything else returns `Result`.
-fn d3_panic_hygiene(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub fn d3_panic_hygiene(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !f.scope.library {
         return;
     }
@@ -667,7 +284,11 @@ fn d3_panic_hygiene(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// heuristic flags comparisons where an adjacent operand token is a float
 /// literal or an `f32::`/`f64::` associated constant; route these through
 /// `bpp_sim::approx` instead.
-fn d4_float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+///
+/// When both operands are single tokens the rewrite is unambiguous and
+/// the diagnostic carries a `replace` suggestion:
+/// `x == 1.0` → `approx_eq(x, 1.0)`, `x != 1.0` → `!approx_eq(x, 1.0)`.
+pub fn d4_float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !f.scope.library {
         return;
     }
@@ -687,16 +308,46 @@ fn d4_float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                 && (f.text(k - 3) == "f64" || f.text(k - 3) == "f32")
                 && f.text(k - 2) == "::");
         if next_float || prev_float {
-            out.push(diag(
+            let mut d = diag(
                 f,
                 line,
                 "D4",
                 format!(
                     "float `{t}` comparison — use bpp_sim::approx (exactly/exactly_zero/approx_eq) instead"
                 ),
-            ));
+            );
+            d.suggestion = d4_suggestion(f, k, t);
+            out.push(d);
         }
     }
+}
+
+/// The `approx_eq` rewrite for a float comparison at code index `k`, when
+/// both operands are single tokens (ident or literal) so the span is
+/// unambiguous. Multi-token operands (field accesses, calls) get no
+/// suggestion — the rewrite boundary cannot be recovered from tokens.
+fn d4_suggestion(f: &SourceFile, k: usize, op: &str) -> Option<Suggestion> {
+    let single = |j: usize| {
+        matches!(
+            f.kind(j),
+            Some(TokenKind::Ident) | Some(TokenKind::Float) | Some(TokenKind::Int)
+        )
+        .then(|| f.text(j).to_string())
+    };
+    // The operand tokens must also be expression boundaries: the token
+    // before the lhs / after the rhs must not extend the expression.
+    let extends = |t: &str| matches!(t, "." | "::" | ")" | "]" | "-");
+    let lhs = single(k.checked_sub(1)?)?;
+    let rhs = single(k + 1)?;
+    if k >= 2 && extends(f.text(k - 2)) || extends(f.text(k + 2)) || f.text(k + 2) == "(" {
+        return None;
+    }
+    let call = format!("approx_eq({lhs}, {rhs})");
+    Some(Suggestion {
+        line: f.line(k),
+        kind: "replace",
+        text: if op == "!=" { format!("!{call}") } else { call },
+    })
 }
 
 /// D5: within one file, an `impl ToJson for T` and an `impl FromJson for T`
@@ -708,7 +359,7 @@ fn d4_float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// `("key", value)` / `("key".to_string(), value)` tuple conventions); on
 /// the `from_json` side it is a string between `,` and `)` (the
 /// `field(v, "key")` / `opt_field(v, "key")` accessor convention).
-fn d5_json_key_drift(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub fn d5_json_key_drift(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     // (type name) -> (to_json keys, from_json keys, line of second impl)
     let mut to_keys: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     let mut from_keys: BTreeMap<String, (BTreeSet<String>, u32)> = BTreeMap::new();
@@ -794,8 +445,10 @@ fn d5_json_key_drift(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 /// D6: each crate's `lib.rs` must carry `#![forbid(unsafe_code)]` so the
-/// guarantee survives even outside workspace-lint builds.
-fn d6_forbid_unsafe(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+/// guarantee survives even outside workspace-lint builds. The diagnostic
+/// carries an `insert` suggestion for line 1 — the attribute text is
+/// always the same, so the fix is machine-applicable.
+pub fn d6_forbid_unsafe(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !f.scope.lib_rs {
         return;
     }
@@ -808,11 +461,17 @@ fn d6_forbid_unsafe(f: &SourceFile, out: &mut Vec<Diagnostic>) {
             && f.text(k + 5) == "unsafe_code"
     });
     if !found {
-        out.push(diag(
+        let mut d = diag(
             f,
             1,
             "D6",
             "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-        ));
+        );
+        d.suggestion = Some(Suggestion {
+            line: 1,
+            kind: "insert",
+            text: "#![forbid(unsafe_code)]".to_string(),
+        });
+        out.push(d);
     }
 }

@@ -1,0 +1,133 @@
+//! Rule D9: time-unit discipline.
+//!
+//! The simulator measures every duration in **broadcast units** (the time
+//! to push one page); the workspace naming convention marks such values
+//! with a `_bu` suffix, while `_count` marks cardinalities and `_ratio`
+//! marks dimensionless quotients. Adding a wait time to a request count,
+//! or comparing a duration against a ratio, is a unit error the type
+//! system cannot see (everything is `f64`/`u64`) — but the names can.
+//!
+//! The rule classifies identifier tokens by suffix and flags the additive
+//! and comparison operators (`+ - += -= < <= > >= == !=`) applied between
+//! two *differently classified* identifiers. Multiplication and division
+//! are exempt: `count * ratio` and `total_bu / count` legitimately change
+//! units. Unsuffixed names are unclassified and never participate, so the
+//! rule only fires where both operands opted into the convention —
+//! near-zero false positives by construction.
+
+use super::{diag, Diagnostic, SourceFile};
+use crate::lexer::TokenKind;
+
+/// Crates the discipline applies to (the sim-affecting pipeline the issue
+/// names: simulation kernel, experiment core, and both endpoints).
+const UNIT_CRATES: [&str; 4] = ["sim", "core", "server", "client"];
+
+/// Operators that require both operands to carry the same unit.
+const SAME_UNIT_OPS: [&str; 10] = ["+", "-", "+=", "-=", "<", "<=", ">", ">=", "==", "!="];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitClass {
+    BroadcastUnits,
+    Count,
+    Ratio,
+}
+
+impl UnitClass {
+    fn of(name: &str) -> Option<UnitClass> {
+        if name.ends_with("_bu") {
+            Some(UnitClass::BroadcastUnits)
+        } else if name.ends_with("_count") {
+            Some(UnitClass::Count)
+        } else if name.ends_with("_ratio") {
+            Some(UnitClass::Ratio)
+        } else {
+            None
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            UnitClass::BroadcastUnits => "broadcast-units (*_bu)",
+            UnitClass::Count => "count (*_count)",
+            UnitClass::Ratio => "ratio (*_ratio)",
+        }
+    }
+}
+
+/// D9: flag `a OP b` where `a` and `b` are suffix-classified identifiers
+/// of different unit classes and `OP` is additive or comparative. Library
+/// code of [`UNIT_CRATES`] only; test regions are exempt.
+pub fn d9_unit_discipline(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !f.scope.library
+        || !f
+            .scope
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| UNIT_CRATES.contains(&c))
+    {
+        return;
+    }
+    for k in 1..f.code.len() {
+        let op = f.text(k);
+        if !SAME_UNIT_OPS.contains(&op) {
+            continue;
+        }
+        let line = f.line(k);
+        if f.in_test(line) {
+            continue;
+        }
+        // Both operands must be *plain* classified identifiers: a leading
+        // `.`/`::` means the token is a path/field segment whose base this
+        // rule does not resolve; a trailing `.`/`(` on the rhs means the
+        // ident is a receiver or call, not the operand value. `self.x` is
+        // still classified via the `x` token (its preceding `.` is walked
+        // over below).
+        let lhs = operand_class(f, k - 1, true);
+        let rhs = operand_class(f, k + 1, false);
+        if let (Some((ln, lc)), Some((rn, rc))) = (lhs, rhs) {
+            if lc != rc {
+                out.push(diag(
+                    f,
+                    line,
+                    "D9",
+                    format!(
+                        "mixed-unit `{op}`: `{ln}` is {} but `{rn}` is {} — convert explicitly \
+                         before combining",
+                        lc.label(),
+                        rc.label()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Classify the operand adjacent to an operator. `at` is the code index
+/// directly before (lhs) or after (rhs) the operator; returns the
+/// identifier's name and class when it is a classified plain ident or a
+/// `self.x` / `recv.x` field access ending in a classified name.
+fn operand_class(f: &SourceFile, at: usize, lhs: bool) -> Option<(String, UnitClass)> {
+    if f.kind(at) != Some(TokenKind::Ident) {
+        return None;
+    }
+    if !lhs {
+        // rhs: the operand extends rightwards past the ident. A field
+        // access (`recv.field`) classifies by its final segment; a call
+        // or path (`name(…)`, `name::…`) is opaque and never classified.
+        if f.text(at + 1) == "." && f.kind(at + 2) == Some(TokenKind::Ident) {
+            return operand_class(f, at + 2, false);
+        }
+        if matches!(f.text(at + 1), "(" | "::") {
+            return None;
+        }
+    }
+    // (For the lhs, `at` sits directly left of the operator, so nothing
+    // can extend the expression rightwards; `self.name` classifies by
+    // `name` because the receiver tokens sit further left.)
+    if at >= 1 && f.text(at - 1) == "::" {
+        return None; // path segment — constants are not unit-classified
+    }
+    let name = f.text(at);
+    let class = UnitClass::of(name)?;
+    Some((name.to_string(), class))
+}

@@ -199,3 +199,80 @@ fn unterminated_block_comment_is_a_lex_error() {
     let err = lex("/* never closed").expect_err("must fail");
     assert_eq!(err.line, 1);
 }
+
+#[test]
+fn shebang_line_is_a_comment_token() {
+    assert_eq!(
+        toks("#!/usr/bin/env rust-script\nfn main() {}"),
+        owned(&[
+            (LineComment, "#!/usr/bin/env rust-script"),
+            (Ident, "fn"),
+            (Ident, "main"),
+            (Punct, "("),
+            (Punct, ")"),
+            (Punct, "{"),
+            (Punct, "}"),
+        ])
+    );
+}
+
+#[test]
+fn inner_attribute_is_not_a_shebang() {
+    // `#![…]` at file start must stay code tokens, not be swallowed as a
+    // shebang comment.
+    assert_eq!(
+        toks("#![forbid(unsafe_code)]"),
+        owned(&[
+            (Punct, "#"),
+            (Punct, "!"),
+            (Punct, "["),
+            (Ident, "forbid"),
+            (Punct, "("),
+            (Ident, "unsafe_code"),
+            (Punct, ")"),
+            (Punct, "]"),
+        ])
+    );
+}
+
+#[test]
+fn raw_identifiers_mixed_with_raw_strings() {
+    // `r#fn` (raw ident), `r"…"` (raw string), `r#"…"#` (fenced raw
+    // string) all start with `r` and must disambiguate on what follows.
+    assert_eq!(
+        toks(r##"r#match r"one" r#"two"# r#loop"##),
+        owned(&[
+            (Ident, "r#match"),
+            (RawStr, r#"r"one""#),
+            (RawStr, r##"r#"two"#"##),
+            (Ident, "r#loop"),
+        ])
+    );
+}
+
+#[test]
+fn inner_block_doc_comment_nests() {
+    assert_eq!(
+        toks("/*! inner doc /* nested */ still one token */ x"),
+        owned(&[
+            (
+                BlockComment,
+                "/*! inner doc /* nested */ still one token */"
+            ),
+            (Ident, "x"),
+        ])
+    );
+}
+
+#[test]
+fn inner_line_doc_comments_keep_exact_text() {
+    assert_eq!(
+        toks("//! first\n//!\n//! //! quoted nested marker\ncode"),
+        owned(&[
+            (LineComment, "//! first"),
+            (LineComment, "//!"),
+            (LineComment, "//! //! quoted nested marker"),
+            (Ident, "code"),
+        ])
+    );
+}

@@ -15,8 +15,23 @@ cargo test -q --frozen -p bpp-core --test faults
 cargo clippy --all-targets --frozen -- -D warnings
 
 # Determinism & hygiene static analysis (see DESIGN.md "Static analysis"):
-# nonzero exit on any unsuppressed diagnostic.
-cargo run --release --frozen -p bpp-lint -- --deny
+# exit 1 on any unsuppressed diagnostic, exit 3 on an internal lexer
+# failure. On success the human report prints the per-rule counts; on
+# failure re-run without --deny so the log carries the full report.
+cargo run --release --frozen -p bpp-lint -- --deny || {
+    status=$?
+    echo "ci: bpp-lint --deny failed (exit $status); full report follows" >&2
+    cargo run --release --frozen -p bpp-lint -- >&2 || true
+    exit "$status"
+}
+
+# Golden drift guard: re-linting the committed violation corpus must
+# reproduce the committed schema-v2 report byte for byte. Report-only
+# mode exits 0 by design (the corpus is full of violations), so the
+# pipeline status is cmp's.
+cargo run --release --frozen -p bpp-lint -- --root crates/lint/fixtures --json \
+    | cmp - results/lint_fixture.json \
+    || { echo "ci: lint fixture report diverged from results/lint_fixture.json" >&2; exit 1; }
 
 cargo fmt --check
 
