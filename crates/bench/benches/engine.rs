@@ -1,0 +1,85 @@
+//! Microbenchmarks for the event-engine hot paths: dispatch throughput
+//! (with and without the observability probe), scheduler churn, and the
+//! tombstone drain inside `run_until` / `peek_live`.
+
+#![allow(missing_docs)]
+
+use bpp_sim::{Engine, EngineObs, Model, Scheduler, Time};
+use std::hint::black_box;
+
+use bpp_bench::Group;
+
+/// Self-rescheduling chain: one live event at a time, `remaining` dispatches.
+struct Pump {
+    remaining: u64,
+}
+
+struct Tick;
+
+impl Model for Pump {
+    type Event = Tick;
+    fn handle(&mut self, _now: Time, _ev: Tick, sched: &mut Scheduler<Tick>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_in(1.0, Tick);
+        }
+    }
+    fn event_label(_ev: &Tick) -> &'static str {
+        "tick"
+    }
+}
+
+/// Inert model for pure scheduler-churn measurements.
+struct Sink;
+
+impl Model for Sink {
+    type Event = Tick;
+    fn handle(&mut self, _now: Time, _ev: Tick, _sched: &mut Scheduler<Tick>) {}
+}
+
+fn dispatch_chain(n: u64, obs: bool) -> u64 {
+    let mut engine = Engine::new(Pump { remaining: n });
+    if obs {
+        engine.enable_obs(EngineObs::new(100.0));
+    }
+    engine.scheduler().schedule_in(1.0, Tick);
+    engine.run_to_completion();
+    engine.dispatched()
+}
+
+fn main() {
+    let mut g = Group::new("engine");
+    g.sample_size(10);
+
+    g.bench("dispatch_chain_10k", || dispatch_chain(10_000, false));
+    g.bench("dispatch_chain_10k_obs", || dispatch_chain(10_000, true));
+
+    // Schedule 1024 events, cancel every other one, then run_until past all
+    // of them: each tombstoned head is drained by `peek_live`.
+    g.bench("run_until_half_tombstoned_1k", || {
+        let mut engine = Engine::new(Sink);
+        let ids: Vec<_> = (0..1024)
+            .map(|i| engine.scheduler().schedule_at(i as Time, Tick))
+            .collect();
+        for id in ids.iter().step_by(2) {
+            engine.scheduler().cancel(*id);
+        }
+        engine.run_until(black_box(2048.0));
+        engine.dispatched()
+    });
+
+    // Pure scheduler churn: schedule/cancel with no dispatch at all.
+    g.bench("schedule_cancel_1k", || {
+        let mut engine = Engine::new(Sink);
+        let ids: Vec<_> = (0..1024)
+            .map(|i| engine.scheduler().schedule_at(i as Time, Tick))
+            .collect();
+        let mut cancelled = 0u32;
+        for id in ids {
+            cancelled += u32::from(engine.scheduler().cancel(id));
+        }
+        cancelled
+    });
+
+    g.finish();
+}

@@ -228,6 +228,7 @@ mod tests {
             },
             sim_time: 100.0,
             fault: None,
+            obs: None,
             error: None,
         }
     }

@@ -49,6 +49,16 @@ pub struct McStats {
     pub completed: u64,
 }
 
+impl McStats {
+    /// Misses the threshold filter swallowed — the client chose to wait for
+    /// the broadcast instead of spending a backchannel request. Together
+    /// with [`McStats::requests_sent`] this gives the filter's hit rate:
+    /// every miss either sends a request or is filtered.
+    pub fn requests_filtered(&self) -> u64 {
+        self.misses - self.requests_sent
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum State {
     Idle,
@@ -357,5 +367,21 @@ mod tests {
         assert_eq!(s.accesses, 100);
         assert_eq!(s.hits + s.misses, 100);
         assert_eq!(s.completed, s.misses);
+        assert_eq!(s.requests_filtered(), s.misses - s.requests_sent);
+    }
+
+    #[test]
+    fn requests_filtered_counts_threshold_swallowed_misses() {
+        // Full threshold (setup ratio 1.0): every miss is filtered.
+        let (mut mc, program) = setup(0, 1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..20 {
+            if let BeginOutcome::Miss { page, .. } = mc.begin_access(0.0, &program, 0, &mut rng) {
+                mc.on_broadcast(0.0, page);
+            }
+        }
+        let s = mc.stats();
+        assert_eq!(s.requests_sent, 0);
+        assert_eq!(s.requests_filtered(), s.misses);
     }
 }

@@ -214,7 +214,7 @@ pub fn run_adaptive(
         final_pull_bw: ctrl.pull_bw(),
         final_thres_perc: ctrl.thres_perc(),
         adjustments: ctrl.adjustments(),
-        steady: crate::runner::collect_steady_state(w, engine.now(), converged),
+        steady: crate::runner::collect_steady_state(w, engine.obs(), engine.now(), converged),
     }
 }
 

@@ -4,6 +4,7 @@
 
 use bpp_client::RetryPolicy;
 use bpp_json::{field, opt_field, FromJson, Json, JsonError, ToJson};
+use bpp_obs::ObsConfig;
 use bpp_server::{OverflowPolicy, SaturationPolicy};
 
 /// The three data-delivery algorithms compared in the paper (§2.3).
@@ -352,6 +353,12 @@ pub enum ConfigError {
         /// The underlying description.
         String,
     ),
+    /// The observability configuration is malformed (message from
+    /// `ObsConfig::validate`).
+    InvalidObs(
+        /// The underlying description.
+        String,
+    ),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -404,7 +411,9 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "brownout_duration {duration} exceeds brownout_period {period}"
             ),
-            ConfigError::InvalidRetry(msg) | ConfigError::InvalidDegrade(msg) => {
+            ConfigError::InvalidRetry(msg)
+            | ConfigError::InvalidDegrade(msg)
+            | ConfigError::InvalidObs(msg) => {
                 write!(f, "{msg}")
             }
         }
@@ -498,6 +507,10 @@ pub struct SystemConfig {
     /// The unreliability model (robustness extension; the paper's perfect
     /// channels are [`FaultConfig::none`], the default).
     pub fault: FaultConfig,
+    /// The observability layer (off by default: a disabled `obs` block
+    /// allocates no instrumentation state and leaves every result and
+    /// config document byte-identical to a build without the layer).
+    pub obs: ObsConfig,
 }
 
 impl SystemConfig {
@@ -528,6 +541,7 @@ impl SystemConfig {
             update_access_correlation: 1.0,
             seed: 0x5EED_B0DC,
             fault: FaultConfig::none(),
+            obs: ObsConfig::default(),
         }
     }
 
@@ -692,6 +706,9 @@ impl SystemConfig {
         if let Err(msg) = self.fault.degrade.validate() {
             errs.push(ConfigError::InvalidDegrade(msg));
         }
+        if let Err(msg) = self.obs.validate() {
+            errs.push(ConfigError::InvalidObs(msg));
+        }
         if errs.is_empty() {
             Ok(())
         } else {
@@ -746,6 +763,13 @@ impl ToJson for SystemConfig {
                 members.push(("fault".to_string(), self.fault.to_json()));
             }
         }
+        // Same contract for the observability block: the obs member appears
+        // only when the layer is switched on.
+        if self.obs.enabled {
+            if let Json::Obj(members) = &mut obj {
+                members.push(("obs".to_string(), self.obs.to_json()));
+            }
+        }
         obj
     }
 }
@@ -775,6 +799,7 @@ impl FromJson for SystemConfig {
             update_access_correlation: field(v, "update_access_correlation")?,
             seed: field(v, "seed")?,
             fault: opt_field(v, "fault")?.unwrap_or_default(),
+            obs: opt_field(v, "obs")?.unwrap_or_default(),
         })
     }
 }
@@ -1278,6 +1303,39 @@ mod tests {
         assert!(s.contains("\"fault\""));
         let back: SystemConfig = bpp_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn disabled_obs_block_is_invisible_in_json() {
+        let c = SystemConfig::paper_default();
+        assert!(!c.obs.enabled);
+        let s = bpp_json::to_string(&c);
+        assert!(!s.contains("obs"), "no-op obs block leaked into JSON");
+        // And a pre-obs document parses to the disabled default.
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(back.obs, ObsConfig::default());
+    }
+
+    #[test]
+    fn enabled_obs_block_round_trips_through_json() {
+        let mut c = SystemConfig::small();
+        c.obs.enabled = true;
+        c.obs.timeline_stride = 25.0;
+        c.obs.trace_capacity = 64;
+        c.validate().unwrap();
+        let s = bpp_json::to_string_pretty(&c);
+        assert!(s.contains("\"obs\""));
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn invalid_obs_config_is_reported() {
+        let mut c = SystemConfig::small();
+        c.obs.timeline_stride = -1.0;
+        let errs = errors_of(&c);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(&errs[0], ConfigError::InvalidObs(m) if m.contains("timeline_stride")));
     }
 
     #[test]

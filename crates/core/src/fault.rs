@@ -91,7 +91,7 @@ impl FaultLayer {
             self.counters.requests_browned_out += 1;
             return false;
         }
-        queue.submit(page);
+        queue.submit_at(page, now);
         true
     }
 

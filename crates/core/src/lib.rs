@@ -45,6 +45,7 @@ pub mod analytic;
 pub mod config;
 pub mod experiments;
 pub mod fault;
+pub(crate) mod obs;
 pub mod report;
 pub mod runner;
 pub mod simulation;
@@ -54,6 +55,9 @@ pub use config::{
     QueueDiscipline, SystemConfig,
 };
 pub use fault::{FaultCounters, FaultLayer, FaultReport};
+// The observability knob block and report type are part of the public
+// config/result surface; re-export them alongside SystemConfig.
+pub use bpp_obs::{ObsConfig, ObsReport};
 // The fault-model policy knobs live with their mechanisms; re-export them so
 // a `FaultConfig` can be assembled from this crate alone.
 pub use bpp_client::{RetryPolicy, RetryState};

@@ -1,0 +1,69 @@
+//! Simulation-side observability state: what the [`World`] records when
+//! the `obs` config block is enabled, and how it folds into an
+//! [`ObsReport`].
+//!
+//! Everything here is constructed only when `SystemConfig::obs.enabled`
+//! is true; a disabled run allocates none of this state and executes the
+//! exact pre-observability instruction stream.
+//!
+//! [`World`]: crate::simulation::World
+
+use bpp_obs::{ObsConfig, ObsReport, Timeline, TraceRing};
+use bpp_sim::Welford;
+
+/// Per-run instrumentation state owned by the `World`.
+#[derive(Debug, Clone)]
+pub(crate) struct ObsState {
+    /// The knobs this state was built from (stride feeds the engine probe).
+    pub(crate) cfg: ObsConfig,
+    /// Distinct-pages-in-queue, sampled at every slot boundary.
+    queue_depth: Timeline,
+    /// Queueing delay of every served pull (submit → pull slot).
+    pull_wait: Welford,
+    /// Structured events: saturation transitions, retry resends, ….
+    trace: TraceRing,
+    /// Virtual-Client requests that passed the threshold filter.
+    pub(crate) vc_requests_sent: u64,
+    /// Virtual-Client misses the threshold filter swallowed.
+    pub(crate) vc_requests_filtered: u64,
+}
+
+impl ObsState {
+    pub(crate) fn new(cfg: ObsConfig) -> Self {
+        ObsState {
+            cfg,
+            queue_depth: Timeline::new(cfg.timeline_stride),
+            pull_wait: Welford::new(),
+            trace: TraceRing::new(cfg.trace_capacity as usize),
+            vc_requests_sent: 0,
+            vc_requests_filtered: 0,
+        }
+    }
+
+    /// Sample the pull-queue depth at a slot boundary.
+    pub(crate) fn on_slot(&mut self, now: f64, depth: usize) {
+        self.queue_depth.update(now, depth as f64);
+    }
+
+    /// Record the queueing delay of one served pull request.
+    pub(crate) fn record_pull_wait(&mut self, wait: f64) {
+        self.pull_wait.record(wait);
+    }
+
+    /// Append a structured trace event.
+    pub(crate) fn trace(&mut self, t: f64, label: &'static str, value: f64) {
+        self.trace.push(t, label, value);
+    }
+
+    /// Fold this state into `report`, sealing timelines at `t_end`.
+    pub(crate) fn report_into(&self, t_end: f64, report: &mut ObsReport) {
+        report.add_timeline("server.queue_depth", self.queue_depth.sealed(t_end));
+        let m = &mut report.metrics;
+        m.add("server.pull_wait.count", self.pull_wait.count());
+        if self.pull_wait.count() > 0 {
+            m.gauge("server.pull_wait.mean", self.pull_wait.mean());
+            m.gauge("server.pull_wait.max", self.pull_wait.max());
+        }
+        report.trace = self.trace.clone();
+    }
+}

@@ -4,6 +4,7 @@ use crate::config::{MeasurementProtocol, SystemConfig};
 use crate::fault::FaultReport;
 use crate::simulation::{Phase, SlotAccounting, World};
 use bpp_json::{Json, ToJson};
+use bpp_obs::{EngineObs, ObsReport};
 use bpp_sim::Confidence;
 
 /// Result of a steady-state run (the metric of Figures 3, 5, 6, 7, 8).
@@ -45,6 +46,10 @@ pub struct SteadyStateResult {
     /// disabled, keeping the serialized result identical to pre-fault
     /// output.
     pub fault: Option<FaultReport>,
+    /// What the observability layer collected; `None` when it is disabled
+    /// (the default), keeping the serialized result identical to pre-obs
+    /// output.
+    pub obs: Option<ObsReport>,
     /// Panic message when this cell of a sweep crashed instead of running
     /// to completion (see [`crate::experiments::par_run`]); `None` for a
     /// run that finished normally.
@@ -76,6 +81,7 @@ impl SteadyStateResult {
             },
             sim_time: 0.0,
             fault: None,
+            obs: None,
             error: Some(msg),
         }
     }
@@ -140,6 +146,9 @@ impl ToJson for SteadyStateResult {
             if let Some(fault) = &self.fault {
                 members.push(("fault".to_string(), fault.to_json()));
             }
+            if let Some(obs) = &self.obs {
+                members.push(("obs".to_string(), obs.to_json()));
+            }
             if let Some(error) = &self.error {
                 members.push(("error".to_string(), error.to_json()));
             }
@@ -173,7 +182,12 @@ impl ToJson for WarmupResult {
 /// Assemble a [`SteadyStateResult`] from a finished world. `converged` is
 /// computed by the caller because the plain and adaptive protocols use
 /// different stopping-rule interpretations.
-pub(crate) fn collect_steady_state(w: &World, sim_time: f64, converged: bool) -> SteadyStateResult {
+pub(crate) fn collect_steady_state(
+    w: &World,
+    engine_obs: Option<&EngineObs>,
+    sim_time: f64,
+    converged: bool,
+) -> SteadyStateResult {
     let q = w.measured_queue_stats();
     let bm = w.responses();
     SteadyStateResult {
@@ -200,6 +214,7 @@ pub(crate) fn collect_steady_state(w: &World, sim_time: f64, converged: bool) ->
         slots: (*w.slots()).into(),
         sim_time,
         fault: w.fault_report(),
+        obs: w.obs_report(engine_obs, sim_time),
         error: None,
     }
 }
@@ -219,7 +234,7 @@ pub fn run_steady_state(cfg: &SystemConfig, protocol: &MeasurementProtocol) -> S
             protocol.rel_precision,
             protocol.min_batches,
         );
-    collect_steady_state(w, engine.now(), converged)
+    collect_steady_state(w, engine.obs(), engine.now(), converged)
 }
 
 /// Run the warm-up protocol of Figure 4: a cold MC joins the broadcast and
@@ -262,6 +277,24 @@ mod tests {
         assert_eq!(r.fractions.len(), 10);
         assert_eq!(r.times.len(), 10);
         assert!(r.times.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn obs_section_appears_only_when_enabled_and_never_shifts_results() {
+        let mut cfg = SystemConfig::small();
+        cfg.algorithm = Algorithm::Ipp;
+        let off = run_steady_state(&cfg, &MeasurementProtocol::quick());
+        assert!(off.obs.is_none());
+        assert!(!bpp_json::to_string(&off).contains("\"obs\""));
+        cfg.obs.enabled = true;
+        let on = run_steady_state(&cfg, &MeasurementProtocol::quick());
+        let report = on.obs.as_ref().expect("obs enabled");
+        assert!(report.metrics.counter("engine.dispatch.slot") > 0);
+        assert!(bpp_json::to_string(&on).contains("\"obs\""));
+        // The measured system is untouched by the instrumentation.
+        assert_eq!(off.mean_response, on.mean_response);
+        assert_eq!(off.sim_time, on.sim_time);
+        assert_eq!(off.requests_received, on.requests_received);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::config::{Algorithm, CachePolicy, MeasurementProtocol, QueueDiscipline, SystemConfig};
 use crate::fault::{FaultLayer, FaultReport};
+use crate::obs::ObsState;
 use bpp_broadcast::{
     assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot,
 };
@@ -34,6 +35,7 @@ use bpp_client::{
     BeginOutcome, MeasuredClient, RetryPolicy, RetryState, ThresholdFilter, VcAccess,
     VirtualClient, WarmupTracker,
 };
+use bpp_obs::{EngineObs, ObsReport};
 use bpp_server::{
     BandwidthMux, Discipline, QueueStats, RequestQueue, SaturationDetector, SlotDecision,
 };
@@ -235,6 +237,9 @@ pub struct World {
     rng_retry: Xoshiro256pp,
     retries: u64,
     retries_exhausted: u64,
+    /// Observability state; `None` (the default) records nothing and keeps
+    /// the run's instruction stream identical to a build without the layer.
+    obs: Option<ObsState>,
 }
 
 impl World {
@@ -367,6 +372,9 @@ impl World {
                 },
             );
             q.set_overflow(fault_cfg.overflow);
+            if cfg.obs.enabled {
+                q.track_waits();
+            }
             q
         };
 
@@ -429,6 +437,7 @@ impl World {
             rng_retry: stream_rng(cfg.seed, streams::RETRY),
             retries: 0,
             retries_exhausted: 0,
+            obs: cfg.obs.enabled.then(|| ObsState::new(cfg.obs)),
         }
     }
 
@@ -443,14 +452,22 @@ impl World {
         self.adaptive.as_ref()
     }
 
-    /// Prime the initial events and wrap the world in an engine.
+    /// Prime the initial events and wrap the world in an engine. When the
+    /// observability layer is on, the engine gets its dispatch probe too.
     pub fn into_engine(mut self) -> Engine<World> {
         if let Some(vc) = &self.vc {
             self.next_vc_arrival = vc.next_interarrival(&mut self.rng_vc);
         } else {
             self.next_vc_arrival = f64::INFINITY;
         }
+        let engine_obs = self
+            .obs
+            .as_ref()
+            .map(|o| EngineObs::new(o.cfg.timeline_stride));
         let mut engine = Engine::new(self);
+        if let Some(probe) = engine_obs {
+            engine.enable_obs(probe);
+        }
         engine.scheduler().schedule_at(0.0, Event::Slot);
         engine.scheduler().schedule_at(0.0, Event::McWake);
         engine
@@ -533,6 +550,51 @@ impl World {
             recoveries: sat.recoveries,
             saturated_slots: sat.saturated_slots,
         })
+    }
+
+    /// Everything the observability layer collected, or `None` when it is
+    /// disabled (keeping serialized results identical to pre-obs output).
+    ///
+    /// `engine_obs` is the engine's dispatch probe (from
+    /// [`Engine::obs`](bpp_sim::Engine::obs)); timelines are sealed at
+    /// `t_end`, the final simulated time.
+    pub fn obs_report(&self, engine_obs: Option<&EngineObs>, t_end: f64) -> Option<ObsReport> {
+        let state = self.obs.as_ref()?;
+        let mut report = ObsReport::new();
+        if let Some(probe) = engine_obs {
+            probe.report_into(t_end, &mut report);
+        }
+        state.report_into(t_end, &mut report);
+        let m = &mut report.metrics;
+        m.add("server.slots.push", self.slots.push_pages);
+        m.add("server.slots.pull", self.slots.pull_pages);
+        m.add("server.slots.empty", self.slots.empty);
+        m.add("server.slots.idle", self.slots.idle);
+        let q = self.queue.stats();
+        m.add("server.queue.received", q.received);
+        m.add("server.queue.enqueued", q.enqueued);
+        m.add("server.queue.coalesced", q.coalesced);
+        m.add("server.queue.dropped_full", q.dropped_full);
+        m.add("server.queue.dropped_evicted", q.dropped_evicted);
+        m.add("server.queue.served", q.served);
+        if let Some(sat) = &self.saturation {
+            let s = sat.stats();
+            m.add("server.saturation.degradations", s.degradations);
+            m.add("server.saturation.recoveries", s.recoveries);
+            m.add("server.saturation.saturated_slots", s.saturated_slots);
+        }
+        let mc = self.mc.stats();
+        m.add("client.mc.accesses", mc.accesses);
+        m.add("client.mc.hits", mc.hits);
+        m.add("client.mc.misses", mc.misses);
+        m.add("client.mc.requests_sent", mc.requests_sent);
+        m.add("client.mc.requests_filtered", mc.requests_filtered());
+        m.add("client.mc.completed", mc.completed);
+        m.add("client.mc.retries", self.retries);
+        m.add("client.mc.retries_exhausted", self.retries_exhausted);
+        m.add("client.vc.requests_sent", state.vc_requests_sent);
+        m.add("client.vc.requests_filtered", state.vc_requests_filtered);
+        Some(report)
     }
 
     /// The Measured Client.
@@ -620,36 +682,43 @@ impl World {
                 f.deliver(&mut self.queue, now, page);
             }
             None => {
-                self.queue.submit(page);
+                self.queue.submit_at(page, now);
             }
         }
     }
 
     /// Process every VC access arriving before `until`.
+    ///
+    /// Both VC draws (the access and the next inter-arrival) come off
+    /// `rng_vc` before the request is submitted; the submit path draws only
+    /// from the fault streams, so this ordering keeps the `VC` stream's
+    /// draw sequence identical to the pre-observability handler.
     fn drain_vc(&mut self, until: Time) {
-        let Some(vc) = &mut self.vc else {
+        if self.vc.is_none() {
             return;
-        };
+        }
         while self.next_vc_arrival < until {
-            if let VcAccess::Miss(page) = vc.access(&mut self.rng_vc) {
+            let at = self.next_vc_arrival;
+            let Some(vc) = &mut self.vc else {
+                return;
+            };
+            let access = vc.access(&mut self.rng_vc);
+            self.next_vc_arrival += vc.next_interarrival(&mut self.rng_vc);
+            if let VcAccess::Miss(page) = access {
                 if self
                     .vc_threshold
                     .should_request(&self.program, page, self.cursor)
                 {
                     // VC requests ride the same lossy backchannel as the
                     // MC's (brownouts judged at the actual arrival time).
-                    let at = self.next_vc_arrival;
-                    match &mut self.fault {
-                        Some(f) => {
-                            f.deliver(&mut self.queue, at, page);
-                        }
-                        None => {
-                            self.queue.submit(page);
-                        }
+                    self.submit_request(at, page);
+                    if let Some(obs) = &mut self.obs {
+                        obs.vc_requests_sent += 1;
                     }
+                } else if let Some(obs) = &mut self.obs {
+                    obs.vc_requests_filtered += 1;
                 }
             }
-            self.next_vc_arrival += vc.next_interarrival(&mut self.rng_vc);
         }
     }
 }
@@ -661,6 +730,14 @@ fn top_by_prob(pattern: &AccessPattern, k: usize) -> Vec<usize> {
 impl Model for World {
     type Event = Event;
 
+    fn event_label(event: &Event) -> &'static str {
+        match event {
+            Event::Slot => "slot",
+            Event::McWake => "mc_wake",
+            Event::McRetry { .. } => "mc_retry",
+        }
+    }
+
     fn handle(&mut self, now: Time, event: Event, sched: &mut Scheduler<Event>) {
         match event {
             Event::Slot => {
@@ -668,15 +745,35 @@ impl Model for World {
                     self.done = true;
                     return;
                 }
+                if let Some(obs) = &mut self.obs {
+                    obs.on_slot(now, self.queue.len());
+                }
                 if let Some(sat) = &mut self.saturation {
+                    let was_saturated = sat.is_saturated();
                     let mult = sat.observe(self.queue.len(), self.queue.capacity());
                     self.mux.set_pull_bw(self.base_pull_bw * mult);
+                    if let Some(obs) = &mut self.obs {
+                        if sat.is_saturated() != was_saturated {
+                            let label = if sat.is_saturated() {
+                                "saturation_on"
+                            } else {
+                                "saturation_off"
+                            };
+                            obs.trace(now, label, sat.occupancy());
+                        }
+                    }
                 }
                 let decision = self.mux.decide(self.queue.is_empty(), &mut self.rng_mux);
                 let page = match decision {
                     SlotDecision::ServePull => {
-                        // bpp-lint: allow(D3): the MUX decides ServePull only when queue_empty is false
-                        let p = self.queue.pop().expect("MUX only pulls when non-empty");
+                        let (p, wait) = self
+                            .queue
+                            .pop_wait(now)
+                            // bpp-lint: allow(D3): the MUX decides ServePull only when queue_empty is false
+                            .expect("MUX only pulls when non-empty");
+                        if let (Some(obs), Some(w)) = (&mut self.obs, wait) {
+                            obs.record_pull_wait(w);
+                        }
                         self.slots.pull_pages += 1;
                         Some(p)
                     }
@@ -786,6 +883,9 @@ impl Model for World {
                 {
                     Some(delay) => {
                         self.retries += 1;
+                        if let Some(obs) = &mut self.obs {
+                            obs.trace(now, "retry_resend", delay);
+                        }
                         self.submit_request(now, page);
                         sched.schedule_at(now + delay, Event::McRetry { gen });
                     }
@@ -793,6 +893,9 @@ impl Model for World {
                         // Retry budget exhausted: fall back to waiting for
                         // the page on the periodic broadcast.
                         self.retries_exhausted += 1;
+                        if let Some(obs) = &mut self.obs {
+                            obs.trace(now, "retry_exhausted", self.retry_state.attempts() as f64);
+                        }
                     }
                 }
             }
@@ -872,6 +975,102 @@ mod tests {
         assert_eq!(a.model().slots(), b.model().slots());
         assert_eq!(a.now(), b.now());
         assert_eq!(a.dispatched(), b.dispatched());
+    }
+
+    #[test]
+    fn obs_layer_does_not_perturb_the_simulation() {
+        // The golden-safety invariant: enabling observability changes no
+        // simulated outcome — same responses, same slots, same event count.
+        let base = quick_cfg(Algorithm::Ipp);
+        let mut with_obs = base.clone();
+        with_obs.obs.enabled = true;
+        let a = run(&base);
+        let b = run(&with_obs);
+        assert_eq!(a.model().responses().mean(), b.model().responses().mean());
+        assert_eq!(a.model().slots(), b.model().slots());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.dispatched(), b.dispatched());
+        assert!(a.obs().is_none());
+        assert!(b.obs().is_some());
+    }
+
+    #[test]
+    fn obs_report_is_bit_reproducible() {
+        let mut cfg = quick_cfg(Algorithm::Ipp);
+        cfg.obs.enabled = true;
+        let render = || {
+            let engine = run(&cfg);
+            let report = engine
+                .model()
+                .obs_report(engine.obs(), engine.now())
+                .expect("obs enabled");
+            bpp_json::to_string(&report)
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn obs_report_is_consistent_with_the_run() {
+        let mut cfg = quick_cfg(Algorithm::Ipp);
+        cfg.pull_bw = 0.5;
+        cfg.obs.enabled = true;
+        let engine = run(&cfg);
+        let w = engine.model();
+        let report = w
+            .obs_report(engine.obs(), engine.now())
+            .expect("obs enabled");
+        let m = &report.metrics;
+        // Engine dispatch counters agree with the world's slot accounting
+        // (the final Slot dispatch may stop at max_sim_time unaccounted).
+        assert!(m.counter("engine.dispatch.slot") >= w.slots().total());
+        assert!(m.counter("engine.dispatch.mc_wake") > 0);
+        assert_eq!(m.counter("server.slots.pull"), w.slots().pull_pages);
+        assert_eq!(m.counter("server.queue.served"), w.queue().stats().served);
+        // Every served pull has a tracked wait, and waits are plausible.
+        assert_eq!(
+            m.counter("server.pull_wait.count"),
+            w.queue().stats().served
+        );
+        assert!(m.gauge_value("server.pull_wait.mean").unwrap() >= 0.0);
+        // MC counters mirror McStats; every miss either sent or filtered.
+        let mc = w.mc().stats();
+        assert_eq!(m.counter("client.mc.misses"), mc.misses);
+        assert_eq!(
+            m.counter("client.mc.requests_sent") + m.counter("client.mc.requests_filtered"),
+            mc.misses
+        );
+        // The queue-depth timeline was sealed at the end of the run.
+        let depth = report
+            .timelines
+            .iter()
+            .find(|(name, _)| name == "server.queue_depth")
+            .expect("queue depth timeline present");
+        assert!(!depth.1.points().is_empty());
+    }
+
+    #[test]
+    fn obs_traces_retries_under_faults() {
+        let mut cfg = quick_cfg(Algorithm::Ipp);
+        cfg.fault = crate::config::FaultConfig::lossy(0.3);
+        cfg.obs.enabled = true;
+        let engine = run(&cfg);
+        let w = engine.model();
+        let report = w
+            .obs_report(engine.obs(), engine.now())
+            .expect("obs enabled");
+        assert_eq!(report.metrics.counter("client.mc.retries"), {
+            // bpp-lint: allow(D3): fault_report is Some because the fault model is enabled
+            w.fault_report().expect("faults on").retries
+        });
+        // Heavy request loss forces resends; each leaves a trace event
+        // (unless the small ring already evicted them all, which a
+        // quick-protocol run never does at capacity 256).
+        if report.metrics.counter("client.mc.retries") > 0 {
+            assert!(
+                report.trace.entries().any(|e| e.label == "retry_resend")
+                    || report.trace.dropped() > 0
+            );
+        }
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub const RULES: [(&str, &str); 11] = [
 ];
 
 /// Crates whose code feeds simulation results; rule D2's blast radius.
-pub(crate) const SIM_AFFECTING: [&str; 7] = [
+pub(crate) const SIM_AFFECTING: [&str; 8] = [
     "sim",
     "broadcast",
     "cache",
@@ -99,6 +99,7 @@ pub(crate) const SIM_AFFECTING: [&str; 7] = [
     "server",
     "workload",
     "core",
+    "obs",
 ];
 
 /// Where a file sits in the workspace, derived from its relative path.

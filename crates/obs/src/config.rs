@@ -1,0 +1,110 @@
+//! Observability configuration block.
+
+use bpp_json::{field, FromJson, Json, JsonError, ToJson};
+
+/// Knobs for the observability layer. Disabled by default so that every
+/// committed golden stays byte-identical; when `enabled` is false no
+/// instrumentation state is allocated and no `obs` section is emitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsConfig {
+    /// Master switch; everything below is inert when false.
+    pub enabled: bool,
+    /// Initial bucket width (simulated seconds) for timeline series.
+    pub timeline_stride: f64,
+    /// Maximum number of structured trace events retained.
+    pub trace_capacity: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            timeline_stride: 100.0,
+            trace_capacity: 256,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Check the knobs for internal consistency.
+    ///
+    /// `timeline_stride` must be finite and positive (it seeds timeline
+    /// bucket widths); `trace_capacity` is capped at one million so a typo
+    /// cannot balloon into gigabytes of retained trace.
+    pub fn validate(&self) -> Result<(), String> {
+        let ObsConfig {
+            enabled: _,
+            timeline_stride,
+            trace_capacity,
+        } = *self;
+        if !(timeline_stride.is_finite() && timeline_stride > 0.0) {
+            return Err(format!(
+                "timeline_stride must be finite and positive, got {timeline_stride}"
+            ));
+        }
+        if trace_capacity > 1_000_000 {
+            return Err(format!(
+                "trace_capacity must be at most 1000000, got {trace_capacity}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for ObsConfig {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("enabled", self.enabled.to_json()),
+            ("timeline_stride", self.timeline_stride.to_json()),
+            ("trace_capacity", self.trace_capacity.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ObsConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ObsConfig {
+            enabled: field(v, "enabled")?,
+            timeline_stride: field(v, "timeline_stride")?,
+            trace_capacity: field(v, "trace_capacity")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_valid() {
+        let cfg = ObsConfig::default();
+        assert!(!cfg.enabled);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let cfg = ObsConfig {
+            enabled: true,
+            timeline_stride: 50.0,
+            trace_capacity: 32,
+        };
+        let text = bpp_json::to_string(&cfg);
+        let back: ObsConfig = bpp_json::from_str(&text).expect("round trip"); // bpp-lint: allow(D3): test asserts parse success
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn validate_rejects_bad_stride_and_huge_trace() {
+        let mut cfg = ObsConfig {
+            timeline_stride: 0.0,
+            ..ObsConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.timeline_stride = f64::INFINITY;
+        assert!(cfg.validate().is_err());
+        cfg.timeline_stride = 1.0;
+        cfg.trace_capacity = 2_000_000;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Engine-side observability hooks.
+
+use std::collections::BTreeMap;
+
+use crate::report::ObsReport;
+use crate::timeline::Timeline;
+
+/// Instrumentation state the event-loop engine drives on every dispatch:
+/// a per-label dispatch counter plus a timeline of the scheduler's pending
+/// event count (queue depth).
+///
+/// Labels are `&'static str` supplied by the model's `event_label`, so the
+/// counter map is keyed deterministically (`BTreeMap`) and costs no
+/// allocation on the hot path once a label has been seen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineObs {
+    dispatch: BTreeMap<&'static str, u64>,
+    pending: Timeline,
+}
+
+impl EngineObs {
+    /// Hooks with a pending-depth timeline of the given bucket stride.
+    pub fn new(timeline_stride: f64) -> Self {
+        EngineObs {
+            dispatch: BTreeMap::new(),
+            pending: Timeline::new(timeline_stride),
+        }
+    }
+
+    /// Record one dispatched event: its label, the simulated time, and the
+    /// number of events still pending after the dispatch.
+    pub fn on_dispatch(&mut self, label: &'static str, t: f64, pending: usize) {
+        *self.dispatch.entry(label).or_insert(0) += 1;
+        self.pending.update(t, pending as f64);
+    }
+
+    /// Dispatch count for `label` (zero when never seen).
+    pub fn dispatch_count(&self, label: &str) -> u64 {
+        self.dispatch.get(label).copied().unwrap_or(0)
+    }
+
+    /// Fold this state into `report`: counters named
+    /// `engine.dispatch.<label>` plus an `engine.pending` timeline sealed
+    /// at `t_end`.
+    pub fn report_into(&self, t_end: f64, report: &mut ObsReport) {
+        for (label, count) in &self.dispatch {
+            report
+                .metrics
+                .add(&format!("engine.dispatch.{label}"), *count);
+        }
+        report.add_timeline("engine.pending", self.pending.sealed(t_end));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_label_and_reports_with_prefix() {
+        let mut obs = EngineObs::new(10.0);
+        obs.on_dispatch("slot", 1.0, 3);
+        obs.on_dispatch("slot", 2.0, 3);
+        obs.on_dispatch("wake", 3.0, 2);
+        assert_eq!(obs.dispatch_count("slot"), 2);
+        assert_eq!(obs.dispatch_count("wake"), 1);
+        assert_eq!(obs.dispatch_count("absent"), 0);
+
+        let mut report = ObsReport::new();
+        obs.report_into(5.0, &mut report);
+        assert_eq!(report.metrics.counter("engine.dispatch.slot"), 2);
+        assert_eq!(report.metrics.counter("engine.dispatch.wake"), 1);
+        assert_eq!(report.timelines.len(), 1);
+        assert_eq!(report.timelines[0].0, "engine.pending");
+        // Pending depth held at 3 from t=1 to t=3, then 2 until seal at 5.
+        let pts = report.timelines[0].1.points();
+        assert_eq!(pts.len(), 1);
+        let (_, mean, max) = pts[0];
+        assert!((mean - (3.0 * 2.0 + 2.0 * 2.0) / 4.0).abs() < 1e-12);
+        assert_eq!(max, 3.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Bounded ring buffer of structured trace events.
+
+use std::collections::VecDeque;
+
+use bpp_json::{Json, ToJson};
+
+/// One trace event: a static label plus a scalar payload, stamped with the
+/// simulated time at which it happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Simulated time of the event.
+    pub t: f64,
+    /// Event kind, e.g. `"saturation_on"` or `"retry_resend"`.
+    pub label: &'static str,
+    /// Scalar payload; meaning depends on `label`.
+    pub value: f64,
+}
+
+impl ToJson for TraceEntry {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("t", self.t.to_json()),
+            ("label", self.label.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+/// A fixed-capacity ring of [`TraceEntry`] values.
+///
+/// When full, pushing evicts the oldest entry and bumps `dropped`, so the
+/// ring always holds the *most recent* `capacity` events and the report
+/// still says how much history was shed. A capacity of zero keeps nothing
+/// (every push counts as dropped) — the fully-disabled degenerate case.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceRing {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring keeping at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, t: f64, label: &'static str, value: f64) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { t, label, value });
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted (or rejected at capacity zero) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+}
+
+impl ToJson for TraceRing {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("capacity", self.capacity.to_json()),
+            ("dropped", self.dropped.to_json()),
+            (
+                "entries",
+                Json::Arr(self.entries.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_entries_and_counts_evictions() {
+        let mut ring = TraceRing::new(2);
+        ring.push(1.0, "a", 0.0);
+        ring.push(2.0, "b", 0.0);
+        ring.push(3.0, "c", 0.0);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let labels: Vec<_> = ring.entries().map(|e| e.label).collect();
+        assert_eq!(labels, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut ring = TraceRing::new(0);
+        ring.push(1.0, "a", 0.0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn json_shape_lists_entries_oldest_first() {
+        let mut ring = TraceRing::new(4);
+        ring.push(1.5, "x", 2.0);
+        let text = bpp_json::to_string(&ring);
+        assert_eq!(
+            text,
+            r#"{"capacity":4,"dropped":0,"entries":[{"t":1.5,"label":"x","value":2.0}]}"#
+        );
+    }
+}

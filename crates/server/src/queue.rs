@@ -118,6 +118,10 @@ pub struct RequestQueue {
     order: VecDeque<PageId>,
     /// page -> number of coalesced requests waiting on it (>= 1).
     pending: HashMap<PageId, u32>,
+    /// page -> submission time of the entry, kept only when wait tracking
+    /// is on. Pure keyed storage — never iterated — so hash order cannot
+    /// leak into behavior.
+    enqueue_at: Option<HashMap<PageId, f64>>,
     stats: QueueStats,
 }
 
@@ -135,8 +139,16 @@ impl RequestQueue {
             overflow: OverflowPolicy::DropNewest,
             order: VecDeque::new(),
             pending: HashMap::new(),
+            enqueue_at: None,
             stats: QueueStats::default(),
         }
+    }
+
+    /// Start remembering when each entry was enqueued so that
+    /// [`RequestQueue::pop_wait`] can report queueing delays. Off by
+    /// default: the untracked queue does zero extra work.
+    pub fn track_waits(&mut self) {
+        self.enqueue_at = Some(HashMap::new());
     }
 
     /// Change what happens when a new page arrives at a full queue.
@@ -163,6 +175,9 @@ impl RequestQueue {
                     // bpp-lint: allow(D3): guarded by the at-capacity branch: a full queue has a front
                     let old = self.order.pop_front().expect("non-empty");
                     self.pending.remove(&old);
+                    if let Some(at) = &mut self.enqueue_at {
+                        at.remove(&old);
+                    }
                     self.stats.dropped_evicted += 1;
                 }
                 _ => {
@@ -175,6 +190,34 @@ impl RequestQueue {
         self.order.push_back(page);
         self.stats.enqueued += 1;
         SubmitOutcome::Enqueued
+    }
+
+    /// Submit a pull request for `page` at simulated time `now`, recording
+    /// the enqueue time when wait tracking is on (see
+    /// [`RequestQueue::track_waits`]). Identical to [`RequestQueue::submit`]
+    /// when tracking is off.
+    pub fn submit_at(&mut self, page: PageId, now: f64) -> SubmitOutcome {
+        let outcome = self.submit(page);
+        if outcome == SubmitOutcome::Enqueued {
+            if let Some(at) = &mut self.enqueue_at {
+                at.insert(page, now);
+            }
+        }
+        outcome
+    }
+
+    /// Serve the next entry like [`RequestQueue::pop`], additionally
+    /// reporting how long it waited in the queue (`now` minus its enqueue
+    /// time). The wait is `None` when tracking is off or the entry predates
+    /// [`RequestQueue::track_waits`].
+    pub fn pop_wait(&mut self, now: f64) -> Option<(PageId, Option<f64>)> {
+        let page = self.pop()?;
+        let wait = self
+            .enqueue_at
+            .as_mut()
+            .and_then(|at| at.remove(&page))
+            .map(|t0| now - t0);
+        Some((page, wait))
     }
 
     /// Serve the next entry according to the discipline. Returns the page to
@@ -362,6 +405,52 @@ mod tests {
         q.submit(p(1));
         assert_eq!(q.submit(p(1)), SubmitOutcome::Coalesced);
         assert_eq!(q.stats().dropped_evicted, 0);
+    }
+
+    #[test]
+    fn pop_wait_reports_queueing_delay_when_tracking() {
+        let mut q = RequestQueue::new(5);
+        q.track_waits();
+        q.submit_at(p(1), 10.0);
+        q.submit_at(p(2), 12.0);
+        let (page, wait) = q.pop_wait(15.0).unwrap();
+        assert_eq!(page, p(1));
+        assert_eq!(wait, Some(5.0));
+        let (page, wait) = q.pop_wait(15.0).unwrap();
+        assert_eq!(page, p(2));
+        assert_eq!(wait, Some(3.0));
+    }
+
+    #[test]
+    fn pop_wait_without_tracking_gives_no_wait() {
+        let mut q = RequestQueue::new(5);
+        q.submit_at(p(1), 10.0);
+        assert_eq!(q.pop_wait(15.0), Some((p(1), None)));
+    }
+
+    #[test]
+    fn submit_at_matches_submit_outcomes() {
+        let mut q = RequestQueue::new(1);
+        q.track_waits();
+        assert_eq!(q.submit_at(p(1), 0.0), SubmitOutcome::Enqueued);
+        assert_eq!(q.submit_at(p(1), 1.0), SubmitOutcome::Coalesced);
+        assert_eq!(q.submit_at(p(2), 2.0), SubmitOutcome::DroppedFull);
+        // Coalesced arrivals keep the original enqueue time.
+        assert_eq!(q.pop_wait(4.0), Some((p(1), Some(4.0))));
+    }
+
+    #[test]
+    fn drop_oldest_eviction_clears_the_evicted_timestamp() {
+        let mut q = RequestQueue::new(1);
+        q.set_overflow(OverflowPolicy::DropOldest);
+        q.track_waits();
+        q.submit_at(p(1), 0.0);
+        assert_eq!(q.submit_at(p(2), 5.0), SubmitOutcome::Enqueued);
+        // p(1)'s stale timestamp must not survive; a later re-submission of
+        // p(1) starts a fresh wait.
+        q.pop_wait(6.0);
+        q.submit_at(p(1), 6.0);
+        assert_eq!(q.pop_wait(8.0), Some((p(1), Some(2.0))));
     }
 
     #[test]

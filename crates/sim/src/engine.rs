@@ -15,6 +15,7 @@
 //!   pop loop discards tombstoned entries lazily. This keeps `schedule` and
 //!   `cancel` at `O(log n)` / `O(1)`.
 
+use bpp_obs::EngineObs;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
@@ -36,6 +37,14 @@ pub trait Model: Sized {
 
     /// React to `event` occurring at time `now`.
     fn handle(&mut self, now: Time, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// A short static label classifying `event`, used by the observability
+    /// layer to key per-event-kind dispatch counters. The default collapses
+    /// every event into a single bucket; models with a meaningful event
+    /// vocabulary should override it.
+    fn event_label(_event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 struct Scheduled<E> {
@@ -143,6 +152,23 @@ impl<E> Scheduler<E> {
         self.live.len()
     }
 
+    /// Time of the next *live* event, or `None` when nothing live remains.
+    ///
+    /// Cancelled tombstones sitting at the heap head are drained first, so
+    /// the answer is exactly what [`Engine::step`] would dispatch next —
+    /// the raw heap head can be a tombstone whose time says nothing about
+    /// the next real event.
+    pub fn peek_live(&mut self) -> Option<Time> {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.remove(&head.id) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(head.time);
+        }
+        None
+    }
+
     fn pop(&mut self) -> Option<Scheduled<E>> {
         while let Some(s) = self.heap.pop() {
             if self.cancelled.remove(&s.id) {
@@ -160,6 +186,7 @@ pub struct Engine<M: Model> {
     model: M,
     sched: Scheduler<M::Event>,
     dispatched: u64,
+    obs: Option<EngineObs>,
 }
 
 impl<M: Model> Engine<M> {
@@ -169,7 +196,20 @@ impl<M: Model> Engine<M> {
             model,
             sched: Scheduler::new(),
             dispatched: 0,
+            obs: None,
         }
+    }
+
+    /// Attach an observability probe: every dispatched event bumps its
+    /// per-kind counter (see [`Model::event_label`]) and feeds the
+    /// pending-event timeline. Costs one branch per event when absent.
+    pub fn enable_obs(&mut self, obs: EngineObs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability probe, if any.
+    pub fn obs(&self) -> Option<&EngineObs> {
+        self.obs.as_ref()
     }
 
     /// Current simulated time (the time of the most recently fired event).
@@ -202,10 +242,16 @@ impl<M: Model> Engine<M> {
         let Some(s) = self.sched.pop() else {
             return false;
         };
-        debug_assert!(s.time >= self.sched.now, "time must be monotone");
+        // Hard assert: a backwards step would silently corrupt every
+        // time-weighted statistic downstream, not just misorder a log.
+        assert!(s.time >= self.sched.now, "time must be monotone");
         self.sched.now = s.time;
         self.dispatched += 1;
+        let label = M::event_label(&s.event);
         self.model.handle(s.time, s.event, &mut self.sched);
+        if let Some(obs) = &mut self.obs {
+            obs.on_dispatch(label, s.time, self.sched.pending());
+        }
         true
     }
 
@@ -216,15 +262,15 @@ impl<M: Model> Engine<M> {
 
     /// Run until simulated time strictly exceeds `t` or the queue drains.
     /// Events scheduled exactly at `t` are still dispatched.
+    ///
+    /// The deadline is compared against the next *live* event
+    /// ([`Scheduler::peek_live`]): a cancelled tombstone at the heap head
+    /// must not admit a dispatch, because `step()` skips tombstones and
+    /// would then fire the next live event even if it lies past `t`.
     pub fn run_until(&mut self, t: Time) {
-        loop {
-            match self.sched.heap.peek() {
-                Some(head) if head.time <= t => {
-                    if !self.step() {
-                        break;
-                    }
-                }
-                _ => break,
+        while self.sched.peek_live().is_some_and(|next| next <= t) {
+            if !self.step() {
+                break;
             }
         }
     }
@@ -258,6 +304,12 @@ mod tests {
                     let id = self.cancel_target.take().expect("target set");
                     assert!(sched.cancel(id));
                 }
+            }
+        }
+        fn event_label(ev: &Ev) -> &'static str {
+            match ev {
+                Ev::Tag(_) => "tag",
+                Ev::CancelPlanted => "cancel",
             }
         }
     }
@@ -337,6 +389,119 @@ mod tests {
         assert_eq!(e.model().log, vec![(1.0, 1), (2.0, 2), (2.0, 22)]);
         // The t=3 event is still pending.
         assert_eq!(e.scheduler().pending(), 1);
+    }
+
+    #[test]
+    fn run_until_ignores_cancelled_head_tombstone() {
+        // Regression: a cancelled entry at t-ε used to sit at the heap head
+        // and satisfy `head.time <= t`, after which step() skipped the
+        // tombstone and dispatched the live event at t+ε — past the
+        // deadline the caller asked for.
+        let mut e = engine();
+        let victim = e.scheduler().schedule_at(1.9, Ev::Tag(99));
+        e.scheduler().schedule_at(2.1, Ev::Tag(1));
+        e.scheduler().cancel(victim);
+        e.run_until(2.0);
+        assert_eq!(e.model().log, vec![], "no live event lies at or before t");
+        assert_eq!(e.scheduler().pending(), 1, "the t+ε event must survive");
+        assert_eq!(e.now(), 0.0, "time must not advance past the deadline");
+        // The surviving event still fires once the deadline allows it.
+        e.run_until(2.1);
+        assert_eq!(e.model().log, vec![(2.1, 1)]);
+    }
+
+    #[test]
+    fn run_until_drains_consecutive_tombstones() {
+        let mut e = engine();
+        let mut victims = Vec::new();
+        for i in 0..5 {
+            victims.push(
+                e.scheduler()
+                    .schedule_at(1.0 + f64::from(i) * 0.1, Ev::Tag(i)),
+            );
+        }
+        e.scheduler().schedule_at(3.0, Ev::Tag(42));
+        for v in victims {
+            assert!(e.scheduler().cancel(v));
+        }
+        e.run_until(2.0);
+        assert_eq!(e.model().log, vec![]);
+        e.run_until(3.0);
+        assert_eq!(e.model().log, vec![(3.0, 42)]);
+    }
+
+    #[test]
+    fn peek_live_skips_tombstones_and_reports_next_live_time() {
+        let mut e = engine();
+        let victim = e.scheduler().schedule_at(1.0, Ev::Tag(0));
+        e.scheduler().schedule_at(4.0, Ev::Tag(1));
+        assert_eq!(e.scheduler().peek_live(), Some(1.0));
+        e.scheduler().cancel(victim);
+        assert_eq!(e.scheduler().peek_live(), Some(4.0));
+        assert_eq!(e.scheduler().pending(), 1);
+        e.run_to_completion();
+        assert_eq!(e.scheduler().peek_live(), None);
+    }
+
+    #[test]
+    fn cancel_then_reschedule_at_same_instant() {
+        // Cancelling and replanting at the same time must fire only the
+        // replacement, in the seq order of the *new* schedule call.
+        let mut e = engine();
+        let old = e.scheduler().schedule_at(5.0, Ev::Tag(1));
+        e.scheduler().schedule_at(5.0, Ev::Tag(2));
+        assert!(e.scheduler().cancel(old));
+        e.scheduler().schedule_at(5.0, Ev::Tag(3));
+        e.run_to_completion();
+        assert_eq!(e.model().log, vec![(5.0, 2), (5.0, 3)]);
+    }
+
+    #[test]
+    fn pending_is_accurate_after_mixed_cancel_and_pop() {
+        let mut e = engine();
+        let a = e.scheduler().schedule_at(1.0, Ev::Tag(0));
+        let b = e.scheduler().schedule_at(2.0, Ev::Tag(1));
+        e.scheduler().schedule_at(3.0, Ev::Tag(2));
+        assert_eq!(e.scheduler().pending(), 3);
+        // Cancel the head, dispatch the next live event, cancel another.
+        assert!(e.scheduler().cancel(a));
+        assert_eq!(e.scheduler().pending(), 2);
+        assert!(e.step());
+        assert_eq!(e.model().log, vec![(2.0, 1)]);
+        assert_eq!(e.scheduler().pending(), 1);
+        assert!(!e.scheduler().cancel(b), "already fired");
+        assert_eq!(e.scheduler().pending(), 1);
+        e.run_to_completion();
+        assert_eq!(e.scheduler().pending(), 0);
+    }
+
+    #[test]
+    fn run_until_fires_events_exactly_at_t() {
+        // The boundary is documented as inclusive, also when the head is a
+        // tombstone at exactly t.
+        let mut e = engine();
+        let victim = e.scheduler().schedule_at(2.0, Ev::Tag(0));
+        e.scheduler().schedule_at(2.0, Ev::Tag(1));
+        e.scheduler().cancel(victim);
+        e.run_until(2.0);
+        assert_eq!(e.model().log, vec![(2.0, 1)]);
+    }
+
+    #[test]
+    fn engine_obs_counts_dispatches_per_label() {
+        let mut e = engine();
+        e.enable_obs(bpp_obs::EngineObs::new(1.0));
+        let victim = e.scheduler().schedule_at(4.0, Ev::Tag(9));
+        e.model_mut().cancel_target = Some(victim);
+        e.scheduler().schedule_at(1.0, Ev::CancelPlanted);
+        for i in 0..3 {
+            e.scheduler().schedule_at(2.0 + f64::from(i), Ev::Tag(i));
+        }
+        e.run_to_completion();
+        let obs = e.obs().expect("enabled above");
+        assert_eq!(obs.dispatch_count("tag"), 3);
+        assert_eq!(obs.dispatch_count("cancel"), 1);
+        assert_eq!(obs.dispatch_count("unknown"), 0);
     }
 
     #[test]

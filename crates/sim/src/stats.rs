@@ -404,8 +404,13 @@ impl TimeWeighted {
     }
 
     /// Record that the signal changed to `value` at time `t` (monotone `t`).
+    ///
+    /// # Panics
+    /// When `t` goes backwards. This is a hard assert (not a debug one): a
+    /// negative `dt` would *subtract* weight from the accumulator and
+    /// silently corrupt the average, which is worse than any panic.
     pub fn update(&mut self, t: f64, value: f64) {
-        debug_assert!(t >= self.last_time, "time must be monotone");
+        assert!(t >= self.last_time, "time must be monotone");
         let dt = t - self.last_time;
         self.weighted_sum += self.last_value * dt;
         self.span += dt;

@@ -40,4 +40,19 @@ cargo fmt --check
 ./target/release/faults --smoke | cmp - results/fault_smoke.json \
     || { echo "ci: fault smoke report diverged from results/fault_smoke.json" >&2; exit 1; }
 
+# Observability regression: the same fixed-seed cell with the obs layer on
+# must reproduce the committed SteadyStateResult (including its "obs"
+# section) bit for bit — the layer is deterministic by construction.
+./target/release/obs --smoke | cmp - results/obs_smoke.json \
+    || { echo "ci: obs smoke report diverged from results/obs_smoke.json" >&2; exit 1; }
+
+# Micro-benchmarks are opt-in (BPP_BENCH=1): wall-clock noise has no place
+# in the default gate, but the engine/obs hot paths can be tracked on
+# demand. `cargo bench` runs from the package root, so the BENCH_*.json
+# files (gitignored) are moved up to the repo root for collection.
+if [ "${BPP_BENCH:-0}" = "1" ]; then
+    cargo bench --frozen -p bpp-bench --bench engine --bench obs
+    mv crates/bench/BENCH_engine.json crates/bench/BENCH_obs.json .
+fi
+
 echo "ci: all checks passed"

@@ -9,8 +9,8 @@
 
 // bpp-lint: allow-file(D1): property cases derive per-case RNG streams from the case index
 use bpp_core::{
-    run_steady_state, Algorithm, CachePolicy, FaultConfig, MeasurementProtocol, QueueDiscipline,
-    SystemConfig,
+    run_steady_state, Algorithm, CachePolicy, FaultConfig, MeasurementProtocol, ObsConfig,
+    QueueDiscipline, SystemConfig,
 };
 use bpp_sim::rng::{stream_rng, Rng};
 
@@ -61,6 +61,14 @@ fn gen_config(case: u64) -> SystemConfig {
         },
     };
 
+    // Half the cases run with the observability layer on: it draws no
+    // randomness and must not perturb any invariant checked below.
+    let obs = ObsConfig {
+        enabled: rng.random_bool(0.5),
+        trace_capacity: 64,
+        ..ObsConfig::default()
+    };
+
     let disk_sizes = vec![unit, 4 * unit, 5 * unit];
     let db = 10 * unit;
     let slowest = 5 * unit;
@@ -88,6 +96,7 @@ fn gen_config(case: u64) -> SystemConfig {
         update_access_correlation: 0.5,
         seed,
         fault,
+        obs,
     }
 }
 
