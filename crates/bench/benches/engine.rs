@@ -4,6 +4,7 @@
 
 #![allow(missing_docs)]
 
+use bpp_core::{Algorithm, ClientPopulation, MeasurementProtocol, SystemConfig, World};
 use bpp_sim::{Engine, EngineObs, Model, Scheduler, Time};
 use std::hint::black_box;
 
@@ -65,6 +66,24 @@ fn main() {
             engine.scheduler().cancel(*id);
         }
         engine.run_until(black_box(2048.0));
+        engine.dispatched()
+    });
+
+    // Fleet events/sec: a 10k-client arena fleet driving the full world
+    // for 500 broadcast units — wake/deliver/retry traffic through the
+    // timer wheel, not just the bare engine.
+    g.bench("fleet_world_10k_clients_500_slots", || {
+        let mut cfg = SystemConfig::small();
+        cfg.algorithm = Algorithm::Ipp;
+        cfg.pull_bw = 0.5;
+        cfg.thres_perc = 0.0;
+        cfg.steady_state_perc = 0.95;
+        cfg.think_time_ratio = 1.0;
+        cfg.seed = 7;
+        cfg.population = ClientPopulation::fleet(10_000);
+        let proto = MeasurementProtocol::quick();
+        let mut engine = World::steady_state(&cfg, &proto).into_engine();
+        engine.run_until(black_box(500.0));
         engine.dispatched()
     });
 

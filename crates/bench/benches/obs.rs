@@ -27,8 +27,18 @@ fn main() {
     g.sample_size(10);
 
     {
+        // The wired hot path: handle interned once, then a plain array add.
         let mut m = Metrics::new();
-        g.bench("metrics_inc", || {
+        let h = m.counter_handle("engine.dispatch.slot");
+        g.bench("metrics_inc", move || {
+            m.inc_handle(black_box(h));
+        });
+    }
+    {
+        // The by-name convenience path (the pre-interning cost), kept for
+        // comparison against the handle path above.
+        let mut m = Metrics::new();
+        g.bench("metrics_inc_by_name", || {
             m.inc(black_box("engine.dispatch.slot"));
             m.counter("engine.dispatch.slot")
         });

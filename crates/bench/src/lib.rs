@@ -229,6 +229,7 @@ mod tests {
             sim_time: 100.0,
             fault: None,
             obs: None,
+            fleet: None,
             error: None,
         }
     }

@@ -22,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod measured;
 pub mod retry;
 pub mod threshold;
@@ -42,6 +43,7 @@ pub mod streams {
     pub const RETRY: u64 = 7;
 }
 
+pub use arena::{ClientArena, FleetStats, WakeOutcome};
 pub use measured::{BeginOutcome, McStats, MeasuredClient};
 pub use retry::{RetryPolicy, RetryState};
 pub use threshold::ThresholdFilter;

@@ -359,6 +359,12 @@ pub enum ConfigError {
         /// The underlying description.
         String,
     ),
+    /// The client population is malformed (message from
+    /// `ClientPopulation::validate`).
+    InvalidPopulation(
+        /// The underlying description.
+        String,
+    ),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -413,7 +419,8 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::InvalidRetry(msg)
             | ConfigError::InvalidDegrade(msg)
-            | ConfigError::InvalidObs(msg) => {
+            | ConfigError::InvalidObs(msg)
+            | ConfigError::InvalidPopulation(msg) => {
                 write!(f, "{msg}")
             }
         }
@@ -442,6 +449,67 @@ impl std::fmt::Display for ConfigErrors {
 }
 
 impl std::error::Error for ConfigErrors {}
+
+/// Client population model: the paper's aggregate (one Measured Client
+/// plus the open-loop Virtual-Client aggregate) or a real closed-loop
+/// fleet of arena-backed clients (see `bpp_client::ClientArena`).
+///
+/// In fleet mode the Virtual Client is replaced by `fleet_clients` real
+/// clients, each running the full closed loop — think, access, cache
+/// check, threshold-filtered request, retry — with the same think time as
+/// the Measured Client. A fleet of `n` clients therefore offers the same
+/// aggregate access rate as the paper's aggregate at `ThinkTimeRatio = n`,
+/// which is exactly the convergence check the population-sweep figure
+/// plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientPopulation {
+    /// Number of real closed-loop fleet clients replacing the Virtual
+    /// Client aggregate. `0` (the default) keeps the paper's MC + VC
+    /// aggregate model.
+    pub fleet_clients: usize,
+}
+
+impl ClientPopulation {
+    /// The paper's model: one Measured Client plus the VC aggregate.
+    pub fn aggregate() -> Self {
+        Self::default()
+    }
+
+    /// A real fleet of `n` closed-loop clients.
+    pub fn fleet(n: usize) -> Self {
+        ClientPopulation { fleet_clients: n }
+    }
+
+    /// True when a real fleet replaces the Virtual-Client aggregate.
+    pub fn is_fleet(&self) -> bool {
+        self.fleet_clients > 0
+    }
+
+    /// Range check; fleet indices are stored as `u32` in the arena slabs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fleet_clients > u32::MAX as usize {
+            return Err(format!(
+                "fleet_clients must fit in u32, got {}",
+                self.fleet_clients
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for ClientPopulation {
+    fn to_json(&self) -> Json {
+        Json::object([("fleet_clients", self.fleet_clients.to_json())])
+    }
+}
+
+impl FromJson for ClientPopulation {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ClientPopulation {
+            fleet_clients: field(v, "fleet_clients")?,
+        })
+    }
+}
 
 /// Full parameterisation of one simulated system.
 ///
@@ -511,6 +579,11 @@ pub struct SystemConfig {
     /// allocates no instrumentation state and leaves every result and
     /// config document byte-identical to a build without the layer).
     pub obs: ObsConfig,
+    /// The client population model (million-client extension; the paper's
+    /// MC + VC aggregate is [`ClientPopulation::aggregate`], the default,
+    /// which leaves every config document byte-identical to a build
+    /// without the fleet).
+    pub population: ClientPopulation,
 }
 
 impl SystemConfig {
@@ -542,6 +615,7 @@ impl SystemConfig {
             seed: 0x5EED_B0DC,
             fault: FaultConfig::none(),
             obs: ObsConfig::default(),
+            population: ClientPopulation::aggregate(),
         }
     }
 
@@ -709,6 +783,9 @@ impl SystemConfig {
         if let Err(msg) = self.obs.validate() {
             errs.push(ConfigError::InvalidObs(msg));
         }
+        if let Err(msg) = self.population.validate() {
+            errs.push(ConfigError::InvalidPopulation(msg));
+        }
         if errs.is_empty() {
             Ok(())
         } else {
@@ -770,6 +847,13 @@ impl ToJson for SystemConfig {
                 members.push(("obs".to_string(), self.obs.to_json()));
             }
         }
+        // And for the population model: aggregate-population configs stay
+        // byte-identical to the pre-fleet serialization.
+        if self.population.is_fleet() {
+            if let Json::Obj(members) = &mut obj {
+                members.push(("population".to_string(), self.population.to_json()));
+            }
+        }
         obj
     }
 }
@@ -800,6 +884,7 @@ impl FromJson for SystemConfig {
             seed: field(v, "seed")?,
             fault: opt_field(v, "fault")?.unwrap_or_default(),
             obs: opt_field(v, "obs")?.unwrap_or_default(),
+            population: opt_field(v, "population")?.unwrap_or_default(),
         })
     }
 }
@@ -1336,6 +1421,43 @@ mod tests {
         let errs = errors_of(&c);
         assert_eq!(errs.len(), 1);
         assert!(matches!(&errs[0], ConfigError::InvalidObs(m) if m.contains("timeline_stride")));
+    }
+
+    #[test]
+    fn aggregate_population_is_invisible_in_json() {
+        let c = SystemConfig::paper_default();
+        assert!(!c.population.is_fleet());
+        let s = bpp_json::to_string(&c);
+        assert!(
+            !s.contains("population"),
+            "aggregate population leaked into JSON"
+        );
+        // And a pre-fleet document parses to the aggregate default.
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(back.population, ClientPopulation::aggregate());
+    }
+
+    #[test]
+    fn fleet_population_round_trips_through_json() {
+        let mut c = SystemConfig::small();
+        c.population = ClientPopulation::fleet(500);
+        c.validate().unwrap();
+        let s = bpp_json::to_string_pretty(&c);
+        assert!(s.contains("\"population\""));
+        assert!(s.contains("\"fleet_clients\""));
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn oversized_fleet_is_reported() {
+        let mut c = SystemConfig::small();
+        c.population = ClientPopulation::fleet(u32::MAX as usize + 1);
+        let errs = errors_of(&c);
+        assert_eq!(errs.len(), 1);
+        assert!(
+            matches!(&errs[0], ConfigError::InvalidPopulation(m) if m.contains("fleet_clients"))
+        );
     }
 
     #[test]

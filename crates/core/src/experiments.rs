@@ -10,7 +10,7 @@
 //! ([`par_run`]); every run derives its seed deterministically from the
 //! base seed, so figures are reproducible end to end.
 
-use crate::config::{Algorithm, FaultConfig, MeasurementProtocol, SystemConfig};
+use crate::config::{Algorithm, ClientPopulation, FaultConfig, MeasurementProtocol, SystemConfig};
 use crate::runner::{run_steady_state, run_warmup, SteadyStateResult};
 use bpp_sim::approx::exactly_zero;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -27,6 +27,12 @@ pub const CHOP_GRID: [usize; 8] = [0, 100, 200, 300, 400, 500, 600, 700];
 
 /// Channel loss rates swept by the robustness scenario ([`loss_sweep`]).
 pub const LOSS_GRID: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// Population sizes swept by the million-client scenario ([`fleet_sweep`]):
+/// the arena fleet must converge to the aggregate Virtual Client as the
+/// population grows (per-client think times scale with the population, so
+/// the offered aggregate rate is constant along the sweep).
+pub const FLEET_GRID: [usize; 5] = [10, 50, 200, 1_000, 5_000];
 
 /// ThinkTimeRatio grid for the robustness scenario — denser at the loaded
 /// end (TTR=1 is the acceptance point for bounded degradation under loss).
@@ -559,6 +565,84 @@ pub fn loss_sweep(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
     }
 }
 
+/// Million-client scenario: replace the open-loop aggregate Virtual Client
+/// with an arena fleet of real closed-loop clients and sweep the population
+/// size ([`FLEET_GRID`]). Four curves over one set of runs:
+///
+/// * **VC aggregate** — the Measured Client's response time under the
+///   open-loop VC (flat reference line; the convergence target);
+/// * **Fleet MC response** — the MC's response time with the fleet standing
+///   in for the VC (must approach the reference as the population grows);
+/// * **Fleet mean flow** — mean per-request flow time across fleet clients
+///   (= mean stretch, pages being unit-sized);
+/// * **Fleet max stretch** — the worst per-request stretch observed.
+///
+/// Operating point: IPP, PullBW 50%, no threshold, SteadyStatePerc 95%,
+/// ThinkTimeRatio 25 (mid-load, where closed-loop damping is visible).
+pub fn fleet_sweep(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    fn operating_point(c: &mut SystemConfig) {
+        c.algorithm = Algorithm::Ipp;
+        c.pull_bw = 0.5;
+        c.thres_perc = 0.0;
+        c.steady_state_perc = 0.95;
+        c.think_time_ratio = 25.0;
+    }
+    // Reference cell: the aggregate VC at the same operating point.
+    let mut vc = base.clone();
+    operating_point(&mut vc);
+    vc.seed = derive_seed(base.seed, 104);
+    let vc_r = run_steady_state(&vc, proto);
+
+    let configs: Vec<SystemConfig> = FLEET_GRID
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let mut c = base.clone();
+            operating_point(&mut c);
+            c.population = ClientPopulation::fleet(n);
+            c.seed = derive_seed(base.seed, 105 * 1000 + i as u64);
+            c
+        })
+        .collect();
+    let results = par_run(&configs, proto);
+
+    let xs: Vec<f64> = FLEET_GRID.iter().map(|&n| n as f64).collect();
+    let fleet_series = |label: &str, pick: fn(&crate::runner::FleetResult) -> f64| Series {
+        label: label.to_string(),
+        points: xs
+            .iter()
+            .zip(&results)
+            .map(|(&x, r)| (x, r.fleet.as_ref().map_or(f64::NAN, pick)))
+            .collect(),
+        results: results.clone(),
+    };
+    let series = vec![
+        Series {
+            label: "VC aggregate".to_string(),
+            points: xs.iter().map(|&x| (x, vc_r.mean_response)).collect(),
+            results: vec![vc_r; xs.len()],
+        },
+        Series {
+            label: "Fleet MC response".to_string(),
+            points: xs
+                .iter()
+                .zip(&results)
+                .map(|(&x, r)| (x, r.mean_response))
+                .collect(),
+            results: results.clone(),
+        },
+        fleet_series("Fleet mean flow", |f| f.mean_flow),
+        fleet_series("Fleet max stretch", |f| f.max_stretch),
+    ];
+    Figure {
+        id: "P1".into(),
+        title: "Population sweep: arena fleet vs aggregate VC, IPP PullBW=50%, TTR=25".into(),
+        x_label: "Fleet Clients".into(),
+        y_label: "Broadcast Units".into(),
+        series,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,10 +654,11 @@ mod tests {
     #[test]
     fn derive_seed_is_injective_over_every_experiment_tag() {
         // Tag families in use: bare literals (30, 40, 60..66, 70, 80, 81,
-        // 90), `50 + tag` (fig4), `tag * 1000 + i` (every sweep_ttr call,
-        // tags up to 103), and `(82 + k) * 1000 + i` (fig7). The range
-        // below is a superset of all of them; the old linear mix collided
-        // inside it (e.g. families `tag*1000 + i` vs. small literals).
+        // 90, 104), `50 + tag` (fig4), `tag * 1000 + i` (every sweep_ttr
+        // call, tags up to 103, plus 105 for fleet_sweep), and
+        // `(82 + k) * 1000 + i` (fig7). The range below is a superset of
+        // all of them; the old linear mix collided inside it (e.g.
+        // families `tag*1000 + i` vs. small literals).
         let mut seen = std::collections::BTreeSet::new();
         for tag in 0..=110_000u64 {
             assert!(
@@ -677,6 +762,32 @@ mod tests {
         // Push is flat by construction.
         let push = &fig.series[0];
         assert!(push.points.windows(2).all(|w| w[0].1 == w[1].1));
+    }
+
+    #[test]
+    fn fleet_sweep_produces_fleet_metrics_and_a_flat_vc_reference() {
+        let base = small_base();
+        let mut proto = MeasurementProtocol::quick();
+        proto.max_accesses = 2_000;
+        proto.skip_accesses = 100;
+        let fig = fleet_sweep(&base, &proto);
+        assert_eq!(fig.series.len(), 4);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), FLEET_GRID.len());
+        }
+        // The reference line is flat: one VC run replicated across the grid.
+        let vc = &fig.series[0];
+        assert!(vc.points.windows(2).all(|w| w[0].1 == w[1].1));
+        assert!(vc.results.iter().all(|r| r.fleet.is_none()));
+        // Every fleet cell carries a fleet section with sane flow metrics
+        // (flow = stretch for unit pages, and a page is never delivered
+        // sooner than the end of the slot after the request).
+        for r in &fig.series[1].results {
+            let f = r.fleet.as_ref().expect("fleet section present");
+            assert!(f.mean_flow.is_finite() && f.mean_flow >= 1.0);
+            assert!(f.max_stretch >= f.mean_flow);
+            assert!(f.completed > 0);
+        }
     }
 
     #[test]

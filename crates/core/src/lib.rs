@@ -51,8 +51,8 @@ pub mod runner;
 pub mod simulation;
 
 pub use config::{
-    Algorithm, CachePolicy, ConfigError, ConfigErrors, FaultConfig, MeasurementProtocol,
-    QueueDiscipline, SystemConfig,
+    Algorithm, CachePolicy, ClientPopulation, ConfigError, ConfigErrors, FaultConfig,
+    MeasurementProtocol, QueueDiscipline, SystemConfig,
 };
 pub use fault::{FaultCounters, FaultLayer, FaultReport};
 // The observability knob block and report type are part of the public
@@ -62,5 +62,5 @@ pub use bpp_obs::{ObsConfig, ObsReport};
 // a `FaultConfig` can be assembled from this crate alone.
 pub use bpp_client::{RetryPolicy, RetryState};
 pub use bpp_server::{OverflowPolicy, SaturationPolicy};
-pub use runner::{run_steady_state, run_warmup, SteadyStateResult, WarmupResult};
+pub use runner::{run_steady_state, run_warmup, FleetResult, SteadyStateResult, WarmupResult};
 pub use simulation::{streams, SlotAccounting, World};

@@ -26,6 +26,10 @@ pub(crate) struct ObsState {
     pub(crate) vc_requests_sent: u64,
     /// Virtual-Client misses the threshold filter swallowed.
     pub(crate) vc_requests_filtered: u64,
+    /// Fleet-wide cumulative hit rate, sampled at every slot boundary;
+    /// `None` under the aggregate population so its report keys (and the
+    /// serialized bytes) only exist when a fleet runs.
+    fleet_hit_rate: Option<Timeline>,
 }
 
 impl ObsState {
@@ -37,6 +41,19 @@ impl ObsState {
             trace: TraceRing::new(cfg.trace_capacity as usize),
             vc_requests_sent: 0,
             vc_requests_filtered: 0,
+            fleet_hit_rate: None,
+        }
+    }
+
+    /// Start the fleet hit-rate timeline (fleet populations only).
+    pub(crate) fn enable_fleet(&mut self) {
+        self.fleet_hit_rate = Some(Timeline::new(self.cfg.timeline_stride));
+    }
+
+    /// Sample the fleet's cumulative hit rate at a slot boundary.
+    pub(crate) fn on_slot_fleet(&mut self, now: f64, hit_rate: f64) {
+        if let Some(tl) = &mut self.fleet_hit_rate {
+            tl.update(now, hit_rate);
         }
     }
 
@@ -58,6 +75,9 @@ impl ObsState {
     /// Fold this state into `report`, sealing timelines at `t_end`.
     pub(crate) fn report_into(&self, t_end: f64, report: &mut ObsReport) {
         report.add_timeline("server.queue_depth", self.queue_depth.sealed(t_end));
+        if let Some(tl) = &self.fleet_hit_rate {
+            report.add_timeline("client.fleet.hit_rate", tl.sealed(t_end));
+        }
         let m = &mut report.metrics;
         m.add("server.pull_wait.count", self.pull_wait.count());
         if self.pull_wait.count() > 0 {

@@ -50,10 +50,65 @@ pub struct SteadyStateResult {
     /// (the default), keeping the serialized result identical to pre-obs
     /// output.
     pub obs: Option<ObsReport>,
+    /// What the arena client fleet experienced; `None` under the aggregate
+    /// population (the default), keeping the serialized result identical
+    /// to pre-fleet output.
+    pub fleet: Option<FleetResult>,
     /// Panic message when this cell of a sweep crashed instead of running
     /// to completion (see [`crate::experiments::par_run`]); `None` for a
     /// run that finished normally.
     pub error: Option<String>,
+}
+
+/// Per-fleet metrics of a steady-state run under a fleet population
+/// (million-client extension). Flow time is access start → delivery of a
+/// completed miss; pages are unit-size, so a request's stretch equals its
+/// flow time and `max_stretch` is the fleet's worst flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetResult {
+    /// Clients in the arena.
+    pub clients: u64,
+    /// Accesses begun across the fleet.
+    pub accesses: u64,
+    /// Fleet-wide cache hit rate.
+    pub hit_rate: f64,
+    /// Misses handed to the backchannel.
+    pub requests_sent: u64,
+    /// Misses the threshold filter swallowed.
+    pub requests_filtered: u64,
+    /// Misses completed by a delivered page.
+    pub completed: u64,
+    /// Mean flow time of completed misses.
+    pub mean_flow: f64,
+    /// Median flow time (`None` when it fell past the histogram).
+    pub p50_flow: Option<f64>,
+    /// 90th percentile flow time.
+    pub p90_flow: Option<f64>,
+    /// 99th percentile flow time.
+    pub p99_flow: Option<f64>,
+    /// Worst flow time — equals the fleet's max stretch for unit pages.
+    pub max_stretch: f64,
+    /// Retry resends issued by fleet clients (fault model).
+    pub retries: u64,
+}
+
+impl ToJson for FleetResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("clients", self.clients.to_json()),
+            ("accesses", self.accesses.to_json()),
+            ("hit_rate", self.hit_rate.to_json()),
+            ("requests_sent", self.requests_sent.to_json()),
+            ("requests_filtered", self.requests_filtered.to_json()),
+            ("completed", self.completed.to_json()),
+            ("mean_flow", self.mean_flow.to_json()),
+            ("p50_flow", self.p50_flow.to_json()),
+            ("p90_flow", self.p90_flow.to_json()),
+            ("p99_flow", self.p99_flow.to_json()),
+            ("max_stretch", self.max_stretch.to_json()),
+            ("retries", self.retries.to_json()),
+        ])
+    }
 }
 
 impl SteadyStateResult {
@@ -82,6 +137,7 @@ impl SteadyStateResult {
             sim_time: 0.0,
             fault: None,
             obs: None,
+            fleet: None,
             error: Some(msg),
         }
     }
@@ -149,6 +205,9 @@ impl ToJson for SteadyStateResult {
             if let Some(obs) = &self.obs {
                 members.push(("obs".to_string(), obs.to_json()));
             }
+            if let Some(fleet) = &self.fleet {
+                members.push(("fleet".to_string(), fleet.to_json()));
+            }
             if let Some(error) = &self.error {
                 members.push(("error".to_string(), error.to_json()));
             }
@@ -215,6 +274,27 @@ pub(crate) fn collect_steady_state(
         sim_time,
         fault: w.fault_report(),
         obs: w.obs_report(engine_obs, sim_time),
+        fleet: w.fleet().map(|fleet| {
+            let fs = fleet.stats();
+            FleetResult {
+                clients: fleet.len() as u64,
+                accesses: fs.accesses,
+                hit_rate: fs.hit_rate(),
+                requests_sent: fs.requests_sent,
+                requests_filtered: fs.requests_filtered,
+                completed: fs.completed,
+                mean_flow: fleet.flow().mean(),
+                p50_flow: fleet.flow_dist().quantile(0.5),
+                p90_flow: fleet.flow_dist().quantile(0.9),
+                p99_flow: fleet.flow_dist().quantile(0.99),
+                max_stretch: if fleet.flow().count() > 0 {
+                    fleet.flow().max()
+                } else {
+                    0.0
+                },
+                retries: fs.retries,
+            }
+        }),
         error: None,
     }
 }

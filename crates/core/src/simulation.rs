@@ -32,8 +32,8 @@ use bpp_broadcast::{
 };
 use bpp_cache::{LfuCache, LruCache, ReplacementPolicy, StaticScoreCache};
 use bpp_client::{
-    BeginOutcome, MeasuredClient, RetryPolicy, RetryState, ThresholdFilter, VcAccess,
-    VirtualClient, WarmupTracker,
+    BeginOutcome, ClientArena, MeasuredClient, RetryPolicy, RetryState, ThresholdFilter, VcAccess,
+    VirtualClient, WakeOutcome, WarmupTracker,
 };
 use bpp_obs::{EngineObs, ObsReport};
 use bpp_server::{
@@ -62,9 +62,12 @@ use bpp_workload::{AccessPattern, NoisePermutation, ThinkTime, Zipf};
 /// | 5  | `FAULT_LOSS` | fault model, frontchannel          | `broadcast_loss > 0`  |
 /// | 6  | `FAULT_REQ`  | fault model, backchannel           | `request_loss > 0`    |
 /// | 7  | `RETRY`      | `bpp_client::retry` jitter         | `jitter > 0`          |
+/// | 8  | `FLEET`      | `bpp_client::arena` client fleet   | `population` = fleet  |
 ///
 /// Streams 0–4 are golden-pinned from the base system; 5–7 belong to the
-/// fault model and are seeded only when the corresponding knob is enabled.
+/// fault model and are seeded only when the corresponding knob is enabled;
+/// 8 belongs to the million-client extension and is drawn only when
+/// `population` selects a real fleet.
 /// `bpp-lint` rule D1 enforces that (a) every `stream_rng`/`.named` call
 /// outside `crates/sim` names one of these constants and (b) the ids here
 /// stay unique and documented. `bpp_client` cannot depend on this crate,
@@ -92,6 +95,10 @@ pub mod streams {
     /// 7 — retry backoff jitter (`bpp_client::retry`), drawn only when
     /// `jitter > 0`; mirrored as `bpp_client::streams::RETRY`.
     pub const RETRY: u64 = 7;
+    /// 8 — the arena client fleet (`bpp_client::arena`): think times,
+    /// access draws and retry jitter of every fleet client, drawn only
+    /// when `population` selects a real fleet (`fleet_clients > 0`).
+    pub const FLEET: u64 = 8;
 }
 
 /// Events of the integrated model.
@@ -107,6 +114,21 @@ pub enum Event {
     McRetry {
         /// Generation counter of the MC access that armed this timer.
         gen: u64,
+    },
+    /// A fleet client finishes thinking and begins an access
+    /// (million-client extension; never scheduled under the aggregate
+    /// population).
+    FleetWake {
+        /// Dense arena index of the client.
+        client: u32,
+    },
+    /// A fleet client's pull-request retry timer expired. Like `McRetry`,
+    /// `gen` identifies the access that armed the timer.
+    FleetRetry {
+        /// Dense arena index of the client.
+        client: u32,
+        /// Arena retry generation of the access that armed this timer.
+        gen: u32,
     },
 }
 
@@ -201,6 +223,12 @@ pub struct World {
     mux: BandwidthMux,
     mc: MeasuredClient,
     vc: Option<VirtualClient>,
+    /// The arena-backed real client fleet (million-client extension);
+    /// `None` under the aggregate population, where the Virtual Client
+    /// stands in and the instruction stream is byte-identical to the
+    /// pre-fleet simulator.
+    fleet: Option<ClientArena>,
+    rng_fleet: Xoshiro256pp,
     vc_threshold: ThresholdFilter,
     next_vc_arrival: Time,
     has_backchannel: bool,
@@ -336,10 +364,19 @@ impl World {
             mc.attach_warmup(WarmupTracker::new(cfg.db_size, &mc_ideal));
         }
 
-        // --- VC (only when a backchannel exists: under Pure-Push other
-        // clients cannot influence the MC at all). ---
+        // --- Population model (only when a backchannel exists: under
+        // Pure-Push other clients cannot influence the MC at all). The
+        // aggregate population is the paper's open-loop Virtual Client; a
+        // fleet population replaces it with `fleet_clients` real
+        // closed-loop clients in a `ClientArena`, each thinking for
+        // `fleet_clients × MC_ThinkTime / ThinkTimeRatio` on average so
+        // the fleet's aggregate access rate matches the VC it stands in
+        // for (and converges to it as the fleet grows and per-client
+        // think time dwarfs per-request flow time). ---
         let has_backchannel = cfg.algorithm != Algorithm::PurePush;
-        let vc = if has_backchannel {
+        let (vc, fleet) = if !has_backchannel {
+            (None, None)
+        } else {
             let steady: Vec<usize> = match cfg.algorithm {
                 Algorithm::PurePull => {
                     StaticScoreCache::p(cfg.cache_size, population.probs()).ideal_content()
@@ -347,14 +384,33 @@ impl World {
                 _ => StaticScoreCache::pix(cfg.cache_size, population.probs(), &freqs)
                     .ideal_content(),
             };
-            Some(VirtualClient::new(
-                population,
-                &steady,
-                cfg.steady_state_perc,
-                cfg.vc_mean_interarrival(),
-            ))
-        } else {
-            None
+            if cfg.population.is_fleet() {
+                let n = cfg.population.fleet_clients;
+                // SteadyStatePerc becomes the warmed fraction: the first
+                // ⌊n·ssp⌋ clients start with the ideal cache content, the
+                // rest start cold (and warm up through real deliveries).
+                let warm = ((n as f64) * cfg.steady_state_perc).floor() as usize;
+                let arena = ClientArena::new(
+                    n,
+                    cfg.db_size,
+                    &steady,
+                    warm.min(n),
+                    ThinkTime::Exponential {
+                        mean: n as f64 * cfg.vc_mean_interarrival(),
+                    },
+                    threshold,
+                    population,
+                );
+                (None, Some(arena))
+            } else {
+                let vc = VirtualClient::new(
+                    population,
+                    &steady,
+                    cfg.steady_state_perc,
+                    cfg.vc_mean_interarrival(),
+                );
+                (Some(vc), None)
+            }
         };
 
         // --- Fault model: construct only what the config enables, so the
@@ -363,6 +419,7 @@ impl World {
         let has_channel_faults = fault_cfg.broadcast_loss > 0.0
             || fault_cfg.request_loss > 0.0
             || fault_cfg.has_brownouts();
+        let fleet_active = fleet.is_some();
         let queue = {
             let mut q = RequestQueue::with_discipline(
                 cfg.server_queue_size,
@@ -385,6 +442,9 @@ impl World {
             mux: BandwidthMux::new(cfg.effective_pull_bw()),
             mc,
             vc,
+            fleet,
+            // bpp-lint: allow(D7): fleet-owned bpp-client arena forwards draws into bpp-workload samplers; every draw is fleet-initiated
+            rng_fleet: stream_rng(cfg.seed, streams::FLEET),
             vc_threshold: threshold,
             next_vc_arrival: 0.0,
             has_backchannel,
@@ -437,7 +497,13 @@ impl World {
             rng_retry: stream_rng(cfg.seed, streams::RETRY),
             retries: 0,
             retries_exhausted: 0,
-            obs: cfg.obs.enabled.then(|| ObsState::new(cfg.obs)),
+            obs: cfg.obs.enabled.then(|| {
+                let mut o = ObsState::new(cfg.obs);
+                if fleet_active {
+                    o.enable_fleet();
+                }
+                o
+            }),
         }
     }
 
@@ -460,6 +526,15 @@ impl World {
         } else {
             self.next_vc_arrival = f64::INFINITY;
         }
+        // Stagger the fleet's first accesses by one think draw each — an
+        // exponential think time is memoryless, so this starts the fleet
+        // in its stationary arrival regime instead of a thundering herd.
+        let fleet_wakes: Vec<f64> = match &self.fleet {
+            Some(fleet) => (0..fleet.len())
+                .map(|_| fleet.draw_think(&mut self.rng_fleet))
+                .collect(),
+            None => Vec::new(),
+        };
         let engine_obs = self
             .obs
             .as_ref()
@@ -470,6 +545,14 @@ impl World {
         }
         engine.scheduler().schedule_at(0.0, Event::Slot);
         engine.scheduler().schedule_at(0.0, Event::McWake);
+        for (client, at) in fleet_wakes.into_iter().enumerate() {
+            engine.scheduler().schedule_at(
+                at,
+                Event::FleetWake {
+                    client: client as u32,
+                },
+            );
+        }
         engine
     }
 
@@ -594,12 +677,30 @@ impl World {
         m.add("client.mc.retries_exhausted", self.retries_exhausted);
         m.add("client.vc.requests_sent", state.vc_requests_sent);
         m.add("client.vc.requests_filtered", state.vc_requests_filtered);
+        // Fleet counters exist only under a fleet population, so every
+        // aggregate-population report stays byte-identical.
+        if let Some(fleet) = &self.fleet {
+            let fs = fleet.stats();
+            m.add("client.fleet.clients", fleet.len() as u64);
+            m.add("client.fleet.accesses", fs.accesses);
+            m.add("client.fleet.hits", fs.hits);
+            m.add("client.fleet.requests_sent", fs.requests_sent);
+            m.add("client.fleet.requests_filtered", fs.requests_filtered);
+            m.add("client.fleet.completed", fs.completed);
+            m.add("client.fleet.retries", fs.retries);
+            m.add("client.fleet.retries_exhausted", fs.retries_exhausted);
+        }
         Some(report)
     }
 
     /// The Measured Client.
     pub fn mc(&self) -> &MeasuredClient {
         &self.mc
+    }
+
+    /// The arena client fleet, when a fleet population is configured.
+    pub fn fleet(&self) -> Option<&ClientArena> {
+        self.fleet.as_ref()
     }
 
     /// Slot counters.
@@ -735,6 +836,8 @@ impl Model for World {
             Event::Slot => "slot",
             Event::McWake => "mc_wake",
             Event::McRetry { .. } => "mc_retry",
+            Event::FleetWake { .. } => "fleet_wake",
+            Event::FleetRetry { .. } => "fleet_retry",
         }
     }
 
@@ -747,6 +850,9 @@ impl Model for World {
                 }
                 if let Some(obs) = &mut self.obs {
                     obs.on_slot(now, self.queue.len());
+                    if let Some(fleet) = &self.fleet {
+                        obs.on_slot_fleet(now, fleet.stats().hit_rate());
+                    }
                 }
                 if let Some(sat) = &mut self.saturation {
                     let was_saturated = sat.is_saturated();
@@ -812,6 +918,13 @@ impl Model for World {
                             sched.schedule_at(now + 1.0 + think, Event::McWake);
                         } else if self.prefetch {
                             self.mc.prefetch(now + 1.0, p);
+                        }
+                        // Batch-complete every fleet client blocked on this
+                        // page in one pass over exactly those waiters.
+                        if let Some(fleet) = &mut self.fleet {
+                            for &(client, at) in fleet.deliver(p, now + 1.0, &mut self.rng_fleet) {
+                                sched.schedule_at(at, Event::FleetWake { client });
+                            }
                         }
                     }
                 }
@@ -897,6 +1010,75 @@ impl Model for World {
                             obs.trace(now, "retry_exhausted", self.retry_state.attempts() as f64);
                         }
                     }
+                }
+            }
+            Event::FleetWake { client } => {
+                let outcome = match &mut self.fleet {
+                    Some(fleet) => {
+                        fleet.wake(client, now, &self.program, self.cursor, &mut self.rng_fleet)
+                    }
+                    None => return,
+                };
+                match outcome {
+                    WakeOutcome::Hit { next_wake } => {
+                        sched.schedule_at(next_wake, Event::FleetWake { client });
+                    }
+                    WakeOutcome::Miss { page, send_request } => {
+                        if send_request {
+                            // Fleet requests ride the same lossy
+                            // backchannel as the MC's and VC's.
+                            self.submit_request(now, page);
+                            if self.retry.enabled() {
+                                let armed = match &mut self.fleet {
+                                    Some(fleet) => {
+                                        let gen = fleet.arm_retry(client);
+                                        fleet
+                                            .next_retry_delay(
+                                                client,
+                                                &self.retry,
+                                                &mut self.rng_fleet,
+                                            )
+                                            .map(|d| (gen, d))
+                                    }
+                                    None => None,
+                                };
+                                if let Some((gen, d)) = armed {
+                                    sched.schedule_at(now + d, Event::FleetRetry { client, gen });
+                                }
+                            }
+                        }
+                        // The client now blocks; a delivered slot carrying
+                        // the page completes it.
+                    }
+                }
+            }
+            Event::FleetRetry { client, gen } => {
+                let resend = match &mut self.fleet {
+                    Some(fleet) => {
+                        if fleet.retry_gen(client) != gen {
+                            return; // stale timer from a completed access
+                        }
+                        let Some(page) = fleet.waiting_on(client) else {
+                            return;
+                        };
+                        match fleet.next_retry_delay(client, &self.retry, &mut self.rng_fleet) {
+                            Some(delay) => {
+                                fleet.note_retry();
+                                Some((page, delay))
+                            }
+                            None => {
+                                // Budget spent: the push schedule is the
+                                // reliability floor, same as for the MC.
+                                fleet.note_retry_exhausted();
+                                None
+                            }
+                        }
+                    }
+                    None => return,
+                };
+                if let Some((page, delay)) = resend {
+                    self.submit_request(now, page);
+                    sched.schedule_at(now + delay, Event::FleetRetry { client, gen });
                 }
             }
         }
@@ -1223,5 +1405,120 @@ mod tests {
         let measured = w.measured_queue_stats();
         let total = w.queue().stats();
         assert!(measured.received < total.received);
+    }
+
+    fn fleet_cfg(n: usize) -> SystemConfig {
+        let mut cfg = quick_cfg(Algorithm::Ipp);
+        cfg.pull_bw = 0.5;
+        cfg.population = crate::config::ClientPopulation::fleet(n);
+        cfg
+    }
+
+    #[test]
+    fn fleet_population_replaces_the_virtual_client() {
+        let engine = run(&fleet_cfg(64));
+        let w = engine.model();
+        assert!(w.vc.is_none(), "fleet must replace the VC");
+        let fleet = w.fleet().expect("fleet configured");
+        assert_eq!(fleet.len(), 64);
+        let fs = fleet.stats();
+        assert!(fs.accesses > 0, "fleet never woke");
+        assert!(fs.completed > 0, "no fleet miss ever completed");
+        assert!(fs.hits > 0, "warmed fleet never hit");
+        assert!(fs.requests_sent > 0, "fleet never used the backchannel");
+        // Flow times were recorded and are plausible (≥ 1 slot each).
+        assert_eq!(fleet.flow().count(), fs.completed);
+        assert!(fleet.flow().max() >= 1.0);
+        // The MC still converges with real clients generating the load.
+        assert_eq!(w.phase(), Phase::Measure);
+        assert!(w.responses().mean() > 0.0);
+    }
+
+    #[test]
+    fn fleet_run_is_bit_reproducible() {
+        let cfg = fleet_cfg(50);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.model().responses().mean(), b.model().responses().mean());
+        assert_eq!(
+            a.model().fleet().unwrap().stats(),
+            b.model().fleet().unwrap().stats()
+        );
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.dispatched(), b.dispatched());
+    }
+
+    #[test]
+    fn aggregate_population_is_untouched_by_the_fleet_code() {
+        // The golden-safety invariant of this extension: a default
+        // (aggregate) config runs the exact pre-fleet instruction stream.
+        let cfg = quick_cfg(Algorithm::Ipp);
+        assert!(!cfg.population.is_fleet());
+        let engine = run(&cfg);
+        let w = engine.model();
+        assert!(w.fleet().is_none());
+        assert!(w.vc.is_some());
+    }
+
+    #[test]
+    fn fleet_load_converges_to_the_virtual_client_aggregate() {
+        // A fleet of n clients thinking n×(MC_Think/TTR) on average offers
+        // the same aggregate request rate as the open-loop VC; the server
+        // must see comparable backchannel load either way.
+        let proto = MeasurementProtocol::quick();
+        let agg = quick_cfg(Algorithm::Ipp);
+        let mut e1 = World::steady_state(&agg, &proto).into_engine();
+        e1.run_until(4_000.0);
+        let mut e2 = World::steady_state(&fleet_cfg(200), &proto).into_engine();
+        e2.run_until(4_000.0);
+        let vc_reqs = e1.model().queue().stats().received as f64;
+        let fleet_reqs = e2.model().queue().stats().received as f64;
+        assert!(vc_reqs > 0.0 && fleet_reqs > 0.0);
+        let ratio = fleet_reqs / vc_reqs;
+        // Closed-loop damping and warm-up make the fleet slightly lighter;
+        // the rates must still be the same order.
+        assert!(
+            (0.4..=1.6).contains(&ratio),
+            "fleet/VC request ratio {ratio} (fleet {fleet_reqs}, vc {vc_reqs})"
+        );
+    }
+
+    #[test]
+    fn hundred_thousand_client_fleet_completes_a_bounded_run() {
+        // The million-client engine's acceptance cell: a 10⁵-client fleet
+        // must be buildable and runnable inside a unit-test budget. The
+        // run is bounded in simulated time, not by convergence.
+        let mut cfg = fleet_cfg(100_000);
+        cfg.obs.enabled = true;
+        let proto = MeasurementProtocol::quick();
+        let mut engine = World::steady_state(&cfg, &proto).into_engine();
+        engine.run_until(200.0);
+        let w = engine.model();
+        let fleet = w.fleet().expect("fleet configured");
+        let fs = *fleet.stats();
+        assert!(fs.accesses > 0, "fleet never woke");
+        assert!(fs.completed > 0, "no fleet completion in 200 units");
+        // The obs layer carries the fleet hit-rate timeline and counters.
+        let report = w.obs_report(engine.obs(), engine.now()).expect("obs on");
+        assert_eq!(report.metrics.counter("client.fleet.clients"), 100_000);
+        assert_eq!(report.metrics.counter("client.fleet.accesses"), fs.accesses);
+        assert!(report
+            .timelines
+            .iter()
+            .any(|(name, _)| name == "client.fleet.hit_rate"));
+    }
+
+    #[test]
+    fn fleet_clients_retry_lost_requests() {
+        let mut cfg = fleet_cfg(64);
+        cfg.fault = crate::config::FaultConfig::lossy(0.4);
+        let proto = MeasurementProtocol::quick();
+        let mut engine = World::steady_state(&cfg, &proto).into_engine();
+        engine.run_until(3_000.0);
+        let fs = *engine.model().fleet().expect("fleet configured").stats();
+        assert!(
+            fs.retries > 0,
+            "40% request loss must force fleet resends ({fs:?})"
+        );
     }
 }

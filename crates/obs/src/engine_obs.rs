@@ -1,7 +1,5 @@
 //! Engine-side observability hooks.
 
-use std::collections::BTreeMap;
-
 use crate::report::ObsReport;
 use crate::timeline::Timeline;
 
@@ -9,12 +7,14 @@ use crate::timeline::Timeline;
 /// a per-label dispatch counter plus a timeline of the scheduler's pending
 /// event count (queue depth).
 ///
-/// Labels are `&'static str` supplied by the model's `event_label`, so the
-/// counter map is keyed deterministically (`BTreeMap`) and costs no
-/// allocation on the hot path once a label has been seen.
+/// Labels are `&'static str` supplied by the model's `event_label`; a model
+/// has a handful of them, so the counters live in a small `Vec` walked
+/// linearly — on the hot path that is a few pointer compares, cheaper than
+/// any map, and allocation-free once a label has been seen. Reports sort by
+/// label, so output order is independent of first-dispatch order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineObs {
-    dispatch: BTreeMap<&'static str, u64>,
+    dispatch: Vec<(&'static str, u64)>,
     pending: Timeline,
 }
 
@@ -22,7 +22,7 @@ impl EngineObs {
     /// Hooks with a pending-depth timeline of the given bucket stride.
     pub fn new(timeline_stride: f64) -> Self {
         EngineObs {
-            dispatch: BTreeMap::new(),
+            dispatch: Vec::new(),
             pending: Timeline::new(timeline_stride),
         }
     }
@@ -30,23 +30,38 @@ impl EngineObs {
     /// Record one dispatched event: its label, the simulated time, and the
     /// number of events still pending after the dispatch.
     pub fn on_dispatch(&mut self, label: &'static str, t: f64, pending: usize) {
-        *self.dispatch.entry(label).or_insert(0) += 1;
+        // Static labels are usually the *same* static string, so the
+        // pointer-equality fast path short-circuits the content compare.
+        match self
+            .dispatch
+            .iter_mut()
+            .find(|e| std::ptr::eq(e.0.as_ptr(), label.as_ptr()) || e.0 == label)
+        {
+            Some(e) => e.1 += 1,
+            None => self.dispatch.push((label, 1)),
+        }
         self.pending.update(t, pending as f64);
     }
 
     /// Dispatch count for `label` (zero when never seen).
     pub fn dispatch_count(&self, label: &str) -> u64 {
-        self.dispatch.get(label).copied().unwrap_or(0)
+        self.dispatch
+            .iter()
+            .find(|e| e.0 == label)
+            .map(|e| e.1)
+            .unwrap_or(0)
     }
 
     /// Fold this state into `report`: counters named
-    /// `engine.dispatch.<label>` plus an `engine.pending` timeline sealed
-    /// at `t_end`.
+    /// `engine.dispatch.<label>` (in sorted label order) plus an
+    /// `engine.pending` timeline sealed at `t_end`.
     pub fn report_into(&self, t_end: f64, report: &mut ObsReport) {
-        for (label, count) in &self.dispatch {
+        let mut sorted = self.dispatch.clone();
+        sorted.sort_unstable_by_key(|e| e.0);
+        for (label, count) in sorted {
             report
                 .metrics
-                .add(&format!("engine.dispatch.{label}"), *count);
+                .add(&format!("engine.dispatch.{label}"), count);
         }
         report.add_timeline("engine.pending", self.pending.sealed(t_end));
     }

@@ -31,7 +31,7 @@ pub mod trace;
 
 pub use config::ObsConfig;
 pub use engine_obs::EngineObs;
-pub use metrics::Metrics;
+pub use metrics::{CounterHandle, Metrics};
 pub use report::ObsReport;
 pub use timeline::Timeline;
 pub use trace::{TraceEntry, TraceRing};

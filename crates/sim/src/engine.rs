@@ -11,14 +11,22 @@
 //!   that "arrived at `t`" only if it was scheduled before the slot event,
 //!   exactly like a process-oriented simulator with deterministic process
 //!   ordering.
-//! * Cancellation is tombstone-based: `cancel` marks the [`EventId`] and the
-//!   pop loop discards tombstoned entries lazily. This keeps `schedule` and
-//!   `cancel` at `O(log n)` / `O(1)`.
+//! * The queue is a hashed hierarchical timer wheel (11 levels × 64 slots,
+//!   6 bits per level — 66 bits, so every `u64` tick is addressable and the
+//!   top levels double as the overflow range). `schedule` and `cancel` are
+//!   O(1): an event's integer tick (`time as u64`) picks its bucket directly
+//!   and a seq → bucket map lets `cancel` delete the entry in place — no
+//!   tombstones, no lazy pops, and `pending()` is exactly the live count.
+//! * Determinism: buckets are ordered by actual `(time, seq)` when they
+//!   become the dispatch head, so the wheel reproduces the exact total order
+//!   a priority queue would produce. Equal times share a tick and therefore
+//!   a bucket, so ties can never straddle buckets. See the `Scheduler` docs
+//!   for the full ordering argument.
 
 use bpp_obs::EngineObs;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Simulated time in broadcast units (the time to broadcast one page).
 pub type Time = f64;
@@ -50,41 +58,90 @@ pub trait Model: Sized {
 struct Scheduled<E> {
     time: Time,
     seq: u64,
-    id: EventId,
     event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
+/// Deterministic hasher for the seq → bucket map. Keys are single `u64`
+/// seqs, so one splitmix64 finalizer round (full avalanche, ~4 ns) replaces
+/// SipHash — the map sits on the schedule/cancel/pop hot path, where the
+/// default hasher dominated the cost of the whole operation. Seed-free and
+/// process-independent, so it cannot reintroduce nondeterminism.
+#[derive(Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Unused (keys hash via `write_u64`); FNV-1a keeps it correct for
+        // any future caller.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
     }
 }
-impl<E> Eq for Scheduled<E> {}
 
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+/// Bits per wheel level; each level indexes 64 slots.
+const BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Mask extracting a level-0 slot from a tick.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Wheel levels. 11 × 6 = 66 bits ≥ 64, so every `u64` tick has a home
+/// bucket; the top levels are the "overflow" range for far-future events.
+const LEVELS: usize = 11;
+/// Total buckets across all levels (flat index = level · 64 + slot).
+const BUCKETS: usize = LEVELS * SLOTS;
 
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to get (earliest time, lowest seq)
-        // at the top. Times are non-NaN at insertion, where total_cmp
-        // agrees with IEEE ordering, so no panic path is needed.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// The pending-event queue. Handed to [`Model::handle`] so models can plant
-/// future events while reacting to the current one.
+/// The pending-event queue: a hashed hierarchical timer wheel. Handed to
+/// [`Model::handle`] so models can plant future events while reacting to the
+/// current one.
+///
+/// An event's *tick* is `time as u64` (times are finite and non-negative,
+/// so the cast is exact flooring). A tick strictly greater than the wheel
+/// cursor `wheel_pos` lands at the level of its highest 6-bit group that
+/// differs from the cursor; a tick at or below the cursor is clamped into
+/// the cursor's own level-0 bucket. Ordering stays exact because:
+///
+/// * equal times have equal ticks, hence share one bucket — ties never
+///   straddle buckets and are broken by seq inside the bucket sort;
+/// * every bucket other than the cursor bucket holds strictly larger ticks,
+///   whose times are therefore strictly later than anything clamped into
+///   the cursor bucket (`t < tick+1 ≤ tick' ≤ t'`);
+/// * within a level, occupied slots are strictly beyond the cursor's group
+///   value, and a level-`L` bucket's ticks are strictly beyond every
+///   lower-level bucket's — so advancing to the first occupied slot of the
+///   lowest occupied level (cascading it down re-bucketed) always selects
+///   the globally earliest events next.
+///
+/// The bucket at the dispatch head is sorted descending by `(time, seq)`
+/// once and popped from the back; inserts landing in it keep it sorted via
+/// binary search, so the amortised cost stays O(1) per event for the
+/// simulator's workloads.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    live: HashSet<EventId>,
-    cancelled: HashSet<EventId>,
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Per-level occupancy bitmask: bit `s` set ⟺ bucket (level, s) is
+    /// non-empty. Kept exact on every insert and delete.
+    occ: [u64; LEVELS],
+    /// seq → flat bucket index, for O(1) cancellation with true deletion.
+    /// Never iterated (hash order is nondeterministic); `len()` is the live
+    /// event count.
+    location: HashMap<u64, u16, BuildHasherDefault<SeqHasher>>,
+    /// Flat index of the bucket currently being drained (sorted descending
+    /// by `(time, seq)`), if any. Always a level-0 bucket, always non-empty.
+    cur_bucket: Option<u16>,
+    /// Wheel cursor: the tick of the bucket at the dispatch head. Only ever
+    /// advances (events are never scheduled before `now`).
+    wheel_pos: u64,
     next_seq: u64,
     now: Time,
 }
@@ -92,9 +149,14 @@ pub struct Scheduler<E> {
 impl<E> Scheduler<E> {
     fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occ: [0; LEVELS],
+            // Pre-size past the rehash-growth cliff: the doubling walk from
+            // the default capacity re-copies every entry several times
+            // before a typical run's pending set (hundreds of events) fits.
+            location: HashMap::with_capacity_and_hasher(1024, BuildHasherDefault::default()),
+            cur_bucket: None,
+            wheel_pos: 0,
             next_seq: 0,
             now: 0.0,
         }
@@ -115,15 +177,12 @@ impl<E> Scheduler<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = EventId(seq);
-        self.live.insert(id);
-        self.heap.push(Scheduled {
+        self.place(Scheduled {
             time: at,
             seq,
-            id,
             event,
         });
-        id
+        EventId(seq)
     }
 
     /// Schedule `event` after a non-negative `delay` from now.
@@ -136,48 +195,139 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, event)
     }
 
-    /// Cancel a pending event. Returns `true` if the event had not yet fired
-    /// (or been cancelled); cancelling an already-fired event is a no-op.
+    /// Cancel a pending event, deleting it from its bucket immediately.
+    /// Returns `true` if the event had not yet fired (or been cancelled);
+    /// cancelling an already-fired event is a no-op.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id) {
-            self.cancelled.insert(id);
-            true
+        let Some(b) = self.location.remove(&id.0) else {
+            return false;
+        };
+        let b = b as usize;
+        let Some(idx) = self.buckets[b].iter().position(|e| e.seq == id.0) else {
+            // The location map is updated on every insert, pop, and delete,
+            // so a mapped seq is always present in its named bucket.
+            debug_assert!(false, "location map names a bucket without the event");
+            return false;
+        };
+        if self.cur_bucket == Some(b as u16) {
+            // The head bucket is sorted; an order-preserving remove keeps it
+            // valid for back-popping.
+            self.buckets[b].remove(idx);
         } else {
-            false
+            self.buckets[b].swap_remove(idx);
         }
-    }
-
-    /// Number of pending (non-cancelled) events.
-    pub fn pending(&self) -> usize {
-        self.live.len()
-    }
-
-    /// Time of the next *live* event, or `None` when nothing live remains.
-    ///
-    /// Cancelled tombstones sitting at the heap head are drained first, so
-    /// the answer is exactly what [`Engine::step`] would dispatch next —
-    /// the raw heap head can be a tombstone whose time says nothing about
-    /// the next real event.
-    pub fn peek_live(&mut self) -> Option<Time> {
-        while let Some(head) = self.heap.peek() {
-            if self.cancelled.remove(&head.id) {
-                self.heap.pop();
-                continue;
+        if self.buckets[b].is_empty() {
+            self.occ[b / SLOTS] &= !(1 << (b % SLOTS));
+            if self.cur_bucket == Some(b as u16) {
+                self.cur_bucket = None;
             }
-            return Some(head.time);
         }
-        None
+        true
+    }
+
+    /// Number of pending (live) events. Cancelled events are deleted
+    /// outright, so this is exactly the count of events that can still fire.
+    pub fn pending(&self) -> usize {
+        self.location.len()
+    }
+
+    /// Time of the next live event, or `None` when nothing remains. May
+    /// advance the wheel cursor (never simulated time) to locate the head
+    /// bucket.
+    pub fn peek_live(&mut self) -> Option<Time> {
+        if !self.ensure_current() {
+            return None;
+        }
+        let b = self.cur_bucket? as usize;
+        self.buckets[b].last().map(|s| s.time)
+    }
+
+    /// Route an entry to its bucket and record it in the location map.
+    fn place(&mut self, s: Scheduled<E>) {
+        let tick = s.time as u64;
+        let b = if tick <= self.wheel_pos {
+            // At-or-behind the cursor (the cursor may run ahead of `now`
+            // after a peek): clamp into the cursor bucket, which dispatches
+            // before every other bucket. Order inside is by real (time, seq).
+            (self.wheel_pos & SLOT_MASK) as usize
+        } else {
+            let high = 63 - (tick ^ self.wheel_pos).leading_zeros() as usize;
+            let level = high / BITS;
+            level * SLOTS + ((tick >> (level * BITS)) & SLOT_MASK) as usize
+        };
+        self.location.insert(s.seq, b as u16);
+        if self.buckets[b].is_empty() {
+            self.occ[b / SLOTS] |= 1 << (b % SLOTS);
+        }
+        if self.cur_bucket == Some(b as u16) {
+            // Keep the head bucket sorted (descending by (time, seq)) so
+            // back-pops stay correct without re-sorting.
+            let idx = self.buckets[b].partition_point(|e| {
+                e.time.total_cmp(&s.time) == Ordering::Greater
+                    || (e.time.total_cmp(&s.time) == Ordering::Equal && e.seq > s.seq)
+            });
+            self.buckets[b].insert(idx, s);
+        } else {
+            self.buckets[b].push(s);
+        }
+    }
+
+    /// Make `cur_bucket` point at the bucket holding the earliest pending
+    /// events, cascading higher levels down as needed. Returns `false` when
+    /// the wheel is empty.
+    fn ensure_current(&mut self) -> bool {
+        if self.cur_bucket.is_some() {
+            return true;
+        }
+        loop {
+            if self.occ[0] != 0 {
+                let slot = self.occ[0].trailing_zeros() as u64;
+                // Level-0 invariant: nothing is ever placed behind the
+                // cursor slot (at-or-behind ticks clamp *into* it).
+                debug_assert!(slot >= (self.wheel_pos & SLOT_MASK));
+                self.wheel_pos = (self.wheel_pos & !SLOT_MASK) | slot;
+                let b = slot as usize;
+                self.buckets[b].sort_unstable_by(|a, z| {
+                    z.time.total_cmp(&a.time).then_with(|| z.seq.cmp(&a.seq))
+                });
+                self.cur_bucket = Some(b as u16);
+                return true;
+            }
+            // Cascade: the lowest occupied level's first occupied slot holds
+            // the earliest ticks; move the cursor there and re-bucket its
+            // entries (they all land at strictly lower levels).
+            let Some(level) = (1..LEVELS).find(|&l| self.occ[l] != 0) else {
+                return false;
+            };
+            let slot = self.occ[level].trailing_zeros() as u64;
+            let shift = level * BITS;
+            let low_mask = if shift + BITS >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << (shift + BITS)) - 1
+            };
+            self.wheel_pos = (self.wheel_pos & !low_mask) | (slot << shift);
+            let b = level * SLOTS + slot as usize;
+            self.occ[level] &= !(1 << slot);
+            let entries = std::mem::take(&mut self.buckets[b]);
+            for s in entries {
+                self.place(s);
+            }
+        }
     }
 
     fn pop(&mut self) -> Option<Scheduled<E>> {
-        while let Some(s) = self.heap.pop() {
-            if self.cancelled.remove(&s.id) {
-                continue;
-            }
-            self.live.remove(&s.id);
-            return Some(s);
+        if !self.ensure_current() {
+            return None;
         }
-        None
+        let b = self.cur_bucket? as usize;
+        let s = self.buckets[b].pop()?;
+        self.location.remove(&s.seq);
+        if self.buckets[b].is_empty() {
+            self.occ[b / SLOTS] &= !(1 << (b % SLOTS));
+            self.cur_bucket = None;
+        }
+        Some(s)
     }
 }
 
@@ -264,9 +414,8 @@ impl<M: Model> Engine<M> {
     /// Events scheduled exactly at `t` are still dispatched.
     ///
     /// The deadline is compared against the next *live* event
-    /// ([`Scheduler::peek_live`]): a cancelled tombstone at the heap head
-    /// must not admit a dispatch, because `step()` skips tombstones and
-    /// would then fire the next live event even if it lies past `t`.
+    /// ([`Scheduler::peek_live`]); cancellation deletes outright, so the
+    /// head time is always the time `step()` would dispatch next.
     pub fn run_until(&mut self, t: Time) {
         while self.sched.peek_live().is_some_and(|next| next <= t) {
             if !self.step() {
@@ -393,10 +542,11 @@ mod tests {
 
     #[test]
     fn run_until_ignores_cancelled_head_tombstone() {
-        // Regression: a cancelled entry at t-ε used to sit at the heap head
-        // and satisfy `head.time <= t`, after which step() skipped the
-        // tombstone and dispatched the live event at t+ε — past the
-        // deadline the caller asked for.
+        // Regression (binary-heap era): a cancelled entry at t-ε used to sit
+        // at the heap head and satisfy `head.time <= t`, after which step()
+        // skipped the tombstone and dispatched the live event at t+ε — past
+        // the deadline the caller asked for. The wheel deletes on cancel, so
+        // the head time is always live; the contract stays pinned here.
         let mut e = engine();
         let victim = e.scheduler().schedule_at(1.9, Ev::Tag(99));
         e.scheduler().schedule_at(2.1, Ev::Tag(1));
@@ -477,8 +627,8 @@ mod tests {
 
     #[test]
     fn run_until_fires_events_exactly_at_t() {
-        // The boundary is documented as inclusive, also when the head is a
-        // tombstone at exactly t.
+        // The boundary is documented as inclusive, also when a same-instant
+        // sibling was cancelled.
         let mut e = engine();
         let victim = e.scheduler().schedule_at(2.0, Ev::Tag(0));
         e.scheduler().schedule_at(2.0, Ev::Tag(1));
@@ -548,5 +698,106 @@ mod tests {
         }
         e.run_to_completion();
         assert_eq!(e.dispatched(), 7);
+    }
+
+    // ---- timer-wheel specific coverage ----
+
+    #[test]
+    fn events_across_wheel_levels_fire_in_order() {
+        // Ticks spanning level 0 (63, 64), level 1 (4095, 4096), level 2,
+        // and a far-future overflow-level tick must still dispatch sorted.
+        let times = [
+            63.5, 64.0, 0.25, 4095.9, 4096.0, 262_144.5, 1.0e12, 2.0, 65.0,
+        ];
+        let mut e = engine();
+        for (i, &t) in times.iter().enumerate() {
+            e.scheduler().schedule_at(t, Ev::Tag(i as u32));
+        }
+        e.run_to_completion();
+        let mut expect: Vec<(Time, u32)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        expect.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert_eq!(e.model().log, expect);
+    }
+
+    #[test]
+    fn schedule_behind_advanced_cursor_still_fires_in_time_order() {
+        // peek_live advances the wheel cursor to the far event's bucket;
+        // a later schedule at a smaller tick (but >= now) must clamp into
+        // the cursor bucket and still dispatch strictly by time.
+        let mut e = engine();
+        e.scheduler().schedule_at(5.2, Ev::Tag(0));
+        e.scheduler().schedule_at(70.5, Ev::Tag(2));
+        e.run_until(5.2);
+        assert_eq!(e.model().log, vec![(5.2, 0)]);
+        // Cursor moves to tick 70's bucket while looking for the head...
+        assert_eq!(e.scheduler().peek_live(), Some(70.5));
+        // ...but an intervening event at t=6 must still fire first.
+        e.scheduler().schedule_at(6.0, Ev::Tag(1));
+        e.run_to_completion();
+        assert_eq!(e.model().log, vec![(5.2, 0), (6.0, 1), (70.5, 2)]);
+    }
+
+    #[test]
+    fn distinct_times_in_one_tick_fire_by_time_not_seq() {
+        let mut e = engine();
+        e.scheduler().schedule_at(2.75, Ev::Tag(0));
+        e.scheduler().schedule_at(2.25, Ev::Tag(1));
+        e.scheduler().schedule_at(2.5, Ev::Tag(2));
+        e.run_to_completion();
+        assert_eq!(e.model().log, vec![(2.25, 1), (2.5, 2), (2.75, 0)]);
+    }
+
+    #[test]
+    fn cancel_in_far_bucket_truly_deletes() {
+        let mut e = engine();
+        let far = e.scheduler().schedule_at(1.0e9, Ev::Tag(0));
+        e.scheduler().schedule_at(1.0, Ev::Tag(1));
+        assert!(e.scheduler().cancel(far));
+        assert_eq!(e.scheduler().pending(), 1);
+        e.run_to_completion();
+        assert_eq!(e.model().log, vec![(1.0, 1)]);
+        assert_eq!(e.scheduler().peek_live(), None);
+        assert_eq!(e.scheduler().pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_during_current_bucket_drain() {
+        // A handler scheduling into the bucket currently being drained must
+        // see its event slotted by (time, seq), not appended.
+        struct Chain {
+            log: Vec<(Time, u32)>,
+        }
+        enum Cev {
+            Emit(u32),
+            PlantSameInstant,
+        }
+        impl Model for Chain {
+            type Event = Cev;
+            fn handle(&mut self, now: Time, ev: Cev, sched: &mut Scheduler<Cev>) {
+                match ev {
+                    Cev::Emit(t) => self.log.push((now, t)),
+                    Cev::PlantSameInstant => {
+                        // Plants at the same instant (fires after existing
+                        // same-instant events, by seq) and slightly later
+                        // within the same tick.
+                        sched.schedule_at(now, Cev::Emit(100));
+                        sched.schedule_at(now + 0.25, Cev::Emit(200));
+                    }
+                }
+            }
+        }
+        let mut e = Engine::new(Chain { log: Vec::new() });
+        e.scheduler().schedule_at(3.0, Cev::PlantSameInstant);
+        e.scheduler().schedule_at(3.0, Cev::Emit(1));
+        e.scheduler().schedule_at(3.5, Cev::Emit(2));
+        e.run_to_completion();
+        assert_eq!(
+            e.model().log,
+            vec![(3.0, 1), (3.0, 100), (3.25, 200), (3.5, 2)]
+        );
     }
 }

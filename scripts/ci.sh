@@ -46,6 +46,12 @@ cargo fmt --check
 ./target/release/obs --smoke | cmp - results/obs_smoke.json \
     || { echo "ci: obs smoke report diverged from results/obs_smoke.json" >&2; exit 1; }
 
+# Fleet regression: a fixed-seed arena-fleet cell (million-client
+# extension) must reproduce the committed SteadyStateResult (including its
+# "fleet" section) bit for bit.
+./target/release/fleet --smoke | cmp - results/fleet_smoke.json \
+    || { echo "ci: fleet smoke report diverged from results/fleet_smoke.json" >&2; exit 1; }
+
 # Micro-benchmarks are opt-in (BPP_BENCH=1): wall-clock noise has no place
 # in the default gate, but the engine/obs hot paths can be tracked on
 # demand. `cargo bench` runs from the package root, so the BENCH_*.json

@@ -9,8 +9,8 @@
 
 // bpp-lint: allow-file(D1): property cases derive per-case RNG streams from the case index
 use bpp_core::{
-    run_steady_state, Algorithm, CachePolicy, FaultConfig, MeasurementProtocol, ObsConfig,
-    QueueDiscipline, SystemConfig,
+    run_steady_state, Algorithm, CachePolicy, ClientPopulation, FaultConfig, MeasurementProtocol,
+    ObsConfig, QueueDiscipline, SystemConfig,
 };
 use bpp_sim::rng::{stream_rng, Rng};
 
@@ -69,6 +69,14 @@ fn gen_config(case: u64) -> SystemConfig {
         ..ObsConfig::default()
     };
 
+    // A quarter of the cases replace the Virtual Client with a real arena
+    // fleet (million-client extension).
+    let population = if rng.random_bool(0.25) {
+        ClientPopulation::fleet(1 + rng.random_range(0..400))
+    } else {
+        ClientPopulation::aggregate()
+    };
+
     let disk_sizes = vec![unit, 4 * unit, 5 * unit];
     let db = 10 * unit;
     let slowest = 5 * unit;
@@ -97,6 +105,7 @@ fn gen_config(case: u64) -> SystemConfig {
         seed,
         fault,
         obs,
+        population,
     }
 }
 
@@ -137,6 +146,24 @@ fn any_valid_config_runs_to_completion() {
                 assert_eq!(r.slots.empty, 0, "case {case}");
             }
             Algorithm::Ipp => {}
+        }
+        // Fleet-population invariants: the result section exists exactly
+        // when a fleet could run (a backchannel exists), and its rates
+        // are sane.
+        if cfg.population.is_fleet() && cfg.algorithm != Algorithm::PurePush {
+            let f = r.fleet.as_ref().expect("fleet section present");
+            assert_eq!(
+                f.clients, cfg.population.fleet_clients as u64,
+                "case {case}"
+            );
+            assert!((0.0..=1.0).contains(&f.hit_rate), "case {case}");
+            assert!(f.completed <= f.accesses, "case {case}");
+            assert!(
+                f.requests_sent + f.requests_filtered <= f.accesses,
+                "case {case}"
+            );
+        } else {
+            assert!(r.fleet.is_none(), "case {case}");
         }
         // Determinism: the same config reruns identically.
         let r2 = run_steady_state(&cfg, &proto);
