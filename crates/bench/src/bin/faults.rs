@@ -62,8 +62,8 @@ fn main() {
                 s.label.clone(),
                 fmt_units(x),
                 fmt_units(r.mean_response),
-                f.pages_lost.to_string(),
-                f.requests_lost.to_string(),
+                f.channel.pages_lost.to_string(),
+                f.channel.requests_lost.to_string(),
                 f.retries.to_string(),
                 f.retries_exhausted.to_string(),
                 fmt_pct(r.drop_rate),

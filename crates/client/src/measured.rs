@@ -57,6 +57,15 @@ impl McStats {
     pub fn requests_filtered(&self) -> u64 {
         self.misses - self.requests_sent
     }
+
+    /// Cache hit fraction over all accesses begun (0 before the first).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -98,6 +98,8 @@ pub struct AdaptiveController {
     window_start: QueueStats,
     pull_bw: f64,
     thres: f64,
+    initial_pull_bw: f64,
+    initial_thres: f64,
     adjustments: u64,
 }
 
@@ -106,14 +108,33 @@ impl AdaptiveController {
     pub fn new(cfg: AdaptiveConfig, initial_pull_bw: f64, initial_thres: f64) -> Self {
         assert!(cfg.min_pull_bw <= cfg.max_pull_bw && cfg.min_thres <= cfg.max_thres);
         assert!(cfg.low_drop <= cfg.high_drop);
+        let pull_bw = initial_pull_bw.clamp(cfg.min_pull_bw, cfg.max_pull_bw);
+        let thres = initial_thres.clamp(cfg.min_thres, cfg.max_thres);
         AdaptiveController {
             cfg,
             slots_since_adjust: 0,
             window_start: QueueStats::default(),
-            pull_bw: initial_pull_bw.clamp(cfg.min_pull_bw, cfg.max_pull_bw),
-            thres: initial_thres.clamp(cfg.min_thres, cfg.max_thres),
+            pull_bw,
+            thres,
+            initial_pull_bw: pull_bw,
+            initial_thres: thres,
             adjustments: 0,
         }
+    }
+
+    /// Server crash: the learned knob settings and the open observation
+    /// window are volatile state. A cold restart goes back to the initial
+    /// knobs and starts a fresh window anchored at the queue's *current*
+    /// cumulative counters (pre-crash traffic must not bias the first
+    /// post-restart decision). Returns the restored `(pull_bw, thres_perc)`
+    /// for the caller to re-apply. The adjustment count survives — it is
+    /// run history, not server memory.
+    pub fn crash_reset(&mut self, cumulative: &QueueStats) -> (f64, f64) {
+        self.slots_since_adjust = 0;
+        self.window_start = *cumulative;
+        self.pull_bw = self.initial_pull_bw;
+        self.thres = self.initial_thres;
+        (self.pull_bw, self.thres)
     }
 
     /// Current `PullBW` setting.
@@ -278,6 +299,28 @@ mod tests {
         }
         assert!((c.pull_bw() - cfg.min_pull_bw).abs() < 1e-9);
         assert!((c.thres_perc() - cfg.max_thres).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_reset_restores_initial_knobs_and_reanchors_the_window() {
+        let cfg = AdaptiveConfig {
+            interval: 1,
+            ..Default::default()
+        };
+        let mut c = AdaptiveController::new(cfg, 0.5, 0.1);
+        // Drive the knobs away from their initial settings.
+        for slot in 1..=5u64 {
+            c.on_slot(&stats(slot * 100, slot * 90));
+        }
+        assert!(c.pull_bw() < 0.5);
+        let made = c.adjustments();
+        let (bw, thres) = c.crash_reset(&stats(500, 450));
+        assert_eq!((bw, thres), (0.5, 0.1), "cold restart forgets learning");
+        assert_eq!(c.adjustments(), made, "run history survives");
+        // The first post-restart window sees only post-restart traffic:
+        // no drops since the anchor -> the controller opens up, not down.
+        let (bw, _) = c.on_slot(&stats(600, 450)).expect("adjusted");
+        assert!(bw > 0.5, "pre-crash drops must not bias the decision");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use bpp_client::RetryPolicy;
 use bpp_json::{field, opt_field, FromJson, Json, JsonError, ToJson};
 use bpp_obs::ObsConfig;
-use bpp_server::{OverflowPolicy, SaturationPolicy};
+use bpp_server::{AdmissionConfig, OverflowPolicy, SaturationPolicy};
 
 /// The three data-delivery algorithms compared in the paper (§2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +130,148 @@ impl FromJson for QueueDiscipline {
     }
 }
 
+/// Server crash–recovery model (robustness extension).
+///
+/// A crash makes the server lose all volatile state: the request queue is
+/// drained (every pending request becomes *orphaned*), the saturation
+/// detector's EWMA and the adaptive controller's learning are reset, and
+/// broadcast slots go silent for `downtime` broadcast units. Crash times
+/// come from one of two mutually exclusive sources:
+///
+/// * `mtbf` — an exponential inter-crash distribution drawn on the
+///   dedicated `CRASH` RNG stream (mean time between failures, measured
+///   restart-to-crash);
+/// * `schedule` — an explicit, strictly increasing list of crash times for
+///   deterministic chaos scenarios.
+///
+/// Recovery is *cold*: clients rediscover the server through their retry
+/// timers, stretched by `reconnect_jitter` to decorrelate the reconnect
+/// herd. A crash counts as recovered when the Measured Client's
+/// response-time EWMA returns to within `recovery_epsilon` (relative) of
+/// its pre-crash level.
+///
+/// [`CrashConfig::none`] (the default) disables the whole domain: no crash
+/// state is constructed, the `CRASH` stream is never seeded, and runs are
+/// bitwise identical to a build without it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashConfig {
+    /// Mean time between failures in broadcast units (exponential draw on
+    /// the `CRASH` stream). `0` disables random crashes.
+    pub mtbf: f64,
+    /// How long the server stays down after each crash, in broadcast
+    /// units. Must be positive when crashes are configured.
+    pub downtime: f64,
+    /// Explicit crash times (broadcast units, strictly increasing).
+    /// Mutually exclusive with `mtbf`; empty means none.
+    pub schedule: Vec<f64>,
+    /// Reconnect-jitter fraction in `[0, 1]`: a client whose send was
+    /// refused or admission-rejected stretches its next retry delay by a
+    /// uniform factor in `[1, 1 + reconnect_jitter)` (drawn on the same
+    /// stream as its ordinary retry jitter).
+    pub reconnect_jitter: f64,
+    /// Relative tolerance for the recovery detector: recovered when the
+    /// response EWMA is `<= (1 + recovery_epsilon) ×` its pre-crash level.
+    pub recovery_epsilon: f64,
+}
+
+impl Default for CrashConfig {
+    fn default() -> Self {
+        CrashConfig::none()
+    }
+}
+
+impl CrashConfig {
+    /// No crashes ever: the strict no-op configuration.
+    pub fn none() -> Self {
+        CrashConfig {
+            mtbf: 0.0,
+            downtime: 0.0,
+            schedule: Vec::new(),
+            reconnect_jitter: 0.0,
+            recovery_epsilon: 0.0,
+        }
+    }
+
+    /// Whether any crash source is configured.
+    pub fn enabled(&self) -> bool {
+        self.mtbf > 0.0 || !self.schedule.is_empty()
+    }
+
+    /// Check the parameters, returning a human-readable description of the
+    /// first problem found. A disabled config is always valid.
+    pub fn validate(&self) -> Result<(), String> {
+        let CrashConfig {
+            mtbf,
+            downtime,
+            ref schedule,
+            reconnect_jitter,
+            recovery_epsilon,
+        } = *self;
+        if !mtbf.is_finite() || mtbf < 0.0 {
+            return Err(format!("crash mtbf must be finite and >= 0, got {mtbf}"));
+        }
+        if mtbf > 0.0 && !schedule.is_empty() {
+            return Err("crash mtbf and an explicit schedule are mutually exclusive".to_string());
+        }
+        for w in schedule.windows(2) {
+            // partial_cmp so NaN (incomparable) also fails the check.
+            if !matches!(w[1].partial_cmp(&w[0]), Some(std::cmp::Ordering::Greater)) {
+                return Err(format!(
+                    "crash schedule must be strictly increasing, got {} then {}",
+                    w[0], w[1]
+                ));
+            }
+        }
+        if let Some(&t) = schedule.first() {
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!(
+                    "crash schedule times must be finite and >= 0, got {t}"
+                ));
+            }
+        }
+        if !reconnect_jitter.is_finite() || !(0.0..=1.0).contains(&reconnect_jitter) {
+            return Err(format!(
+                "crash reconnect_jitter must be in [0,1], got {reconnect_jitter}"
+            ));
+        }
+        if !recovery_epsilon.is_finite() || recovery_epsilon < 0.0 {
+            return Err(format!(
+                "crash recovery_epsilon must be finite and >= 0, got {recovery_epsilon}"
+            ));
+        }
+        if self.enabled() && !(downtime.is_finite() && downtime > 0.0) {
+            return Err(format!(
+                "crash downtime must be finite and positive when crashes are configured, got {downtime}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for CrashConfig {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("mtbf", self.mtbf.to_json()),
+            ("downtime", self.downtime.to_json()),
+            ("schedule", self.schedule.to_json()),
+            ("reconnect_jitter", self.reconnect_jitter.to_json()),
+            ("recovery_epsilon", self.recovery_epsilon.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CrashConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CrashConfig {
+            mtbf: field(v, "mtbf")?,
+            downtime: field(v, "downtime")?,
+            schedule: field(v, "schedule")?,
+            reconnect_jitter: field(v, "reconnect_jitter")?,
+            recovery_epsilon: field(v, "recovery_epsilon")?,
+        })
+    }
+}
+
 /// The deterministic unreliability model layered over the paper's perfect
 /// channels.
 ///
@@ -144,12 +286,16 @@ impl FromJson for QueueDiscipline {
 ///   of every `brownout_period` broadcast units, starting at time 0)
 ///   during which the server discards every arriving request;
 /// * `overflow` / `retry` / `degrade` — how the queue, the client, and the
-///   multiplexer *respond* to the above.
+///   multiplexer *respond* to the above;
+/// * `crash` / `admission` — the crash–recovery fault domain: server
+///   crashes that lose volatile state ([`CrashConfig`]) and the
+///   token-bucket admission layer that paces the resulting reconnect herd
+///   ([`AdmissionConfig`]).
 ///
 /// [`FaultConfig::none`] (the default) disables everything; the simulation
 /// then constructs no fault state, draws from no fault streams, and is
 /// bitwise-identical to a build without the fault layer.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultConfig {
     /// Probability that a page-carrying broadcast slot is lost (`[0,1]`).
     pub broadcast_loss: f64,
@@ -167,6 +313,11 @@ pub struct FaultConfig {
     pub retry: RetryPolicy,
     /// Server-side saturation detection / pull-bandwidth shedding.
     pub degrade: SaturationPolicy,
+    /// Server crash–recovery model (disabled by default).
+    pub crash: CrashConfig,
+    /// Token-bucket admission control on the backchannel (disabled by
+    /// default).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for FaultConfig {
@@ -187,6 +338,8 @@ impl FaultConfig {
             overflow: OverflowPolicy::DropNewest,
             retry: RetryPolicy::disabled(),
             degrade: SaturationPolicy::disabled(),
+            crash: CrashConfig::none(),
+            admission: AdmissionConfig::disabled(),
         }
     }
 
@@ -223,7 +376,7 @@ impl FaultConfig {
 
 impl ToJson for FaultConfig {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut obj = Json::object([
             ("broadcast_loss", self.broadcast_loss.to_json()),
             ("request_loss", self.request_loss.to_json()),
             ("brownout_period", self.brownout_period.to_json()),
@@ -231,7 +384,18 @@ impl ToJson for FaultConfig {
             ("overflow", self.overflow.to_json()),
             ("retry", self.retry.to_json()),
             ("degrade", self.degrade.to_json()),
-        ])
+        ]);
+        // Crash/admission keys appear only when their sub-model is live, so
+        // pre-existing configs serialize byte-identically.
+        if let Json::Obj(members) = &mut obj {
+            if self.crash.enabled() {
+                members.push(("crash".to_string(), self.crash.to_json()));
+            }
+            if self.admission.enabled() {
+                members.push(("admission".to_string(), self.admission.to_json()));
+            }
+        }
+        obj
     }
 }
 
@@ -245,6 +409,8 @@ impl FromJson for FaultConfig {
             overflow: field(v, "overflow")?,
             retry: field(v, "retry")?,
             degrade: field(v, "degrade")?,
+            crash: opt_field(v, "crash")?.unwrap_or_default(),
+            admission: opt_field(v, "admission")?.unwrap_or_default(),
         })
     }
 }
@@ -365,6 +531,17 @@ pub enum ConfigError {
         /// The underlying description.
         String,
     ),
+    /// The crash model is malformed (message from `CrashConfig::validate`).
+    InvalidCrash(
+        /// The underlying description.
+        String,
+    ),
+    /// The admission layer is malformed (message from
+    /// `AdmissionConfig::validate`).
+    InvalidAdmission(
+        /// The underlying description.
+        String,
+    ),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -420,7 +597,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::InvalidRetry(msg)
             | ConfigError::InvalidDegrade(msg)
             | ConfigError::InvalidObs(msg)
-            | ConfigError::InvalidPopulation(msg) => {
+            | ConfigError::InvalidPopulation(msg)
+            | ConfigError::InvalidCrash(msg)
+            | ConfigError::InvalidAdmission(msg) => {
                 write!(f, "{msg}")
             }
         }
@@ -785,6 +964,12 @@ impl SystemConfig {
         }
         if let Err(msg) = self.population.validate() {
             errs.push(ConfigError::InvalidPopulation(msg));
+        }
+        if let Err(msg) = self.fault.crash.validate() {
+            errs.push(ConfigError::InvalidCrash(msg));
+        }
+        if let Err(msg) = self.fault.admission.validate() {
+            errs.push(ConfigError::InvalidAdmission(msg));
         }
         if errs.is_empty() {
             Ok(())
@@ -1483,6 +1668,110 @@ mod tests {
         assert!(!f.in_brownout(99.0));
         assert!(f.in_brownout(105.0));
         assert!(!FaultConfig::none().in_brownout(0.0));
+    }
+
+    #[test]
+    fn disabled_crash_model_is_invisible_in_json() {
+        // A fault model with loss but no crashes must serialize exactly as
+        // it did before the crash domain existed: no crash/admission keys.
+        let mut c = SystemConfig::small();
+        c.fault = FaultConfig::lossy(0.1);
+        assert!(!c.fault.crash.enabled());
+        assert!(!c.fault.admission.enabled());
+        let s = bpp_json::to_string(&c);
+        assert!(!s.contains("crash"), "no-op crash model leaked into JSON");
+        assert!(!s.contains("admission"), "no-op admission leaked into JSON");
+        // And a pre-crash-domain document parses to the disabled defaults.
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(back.fault.crash, CrashConfig::none());
+        assert_eq!(back.fault.admission, AdmissionConfig::disabled());
+    }
+
+    #[test]
+    fn enabled_crash_model_round_trips_through_json() {
+        let mut c = SystemConfig::small();
+        c.fault.crash = CrashConfig {
+            mtbf: 2000.0,
+            downtime: 64.0,
+            schedule: Vec::new(),
+            reconnect_jitter: 0.5,
+            recovery_epsilon: 0.05,
+        };
+        c.fault.admission = AdmissionConfig::standard();
+        c.validate().unwrap();
+        let s = bpp_json::to_string_pretty(&c);
+        assert!(s.contains("\"crash\""));
+        assert!(s.contains("\"admission\""));
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn explicit_crash_schedule_round_trips_through_json() {
+        let mut c = SystemConfig::small();
+        c.fault.crash = CrashConfig {
+            schedule: vec![100.0, 450.5, 900.0],
+            downtime: 32.0,
+            ..CrashConfig::none()
+        };
+        c.validate().unwrap();
+        let back: SystemConfig = bpp_json::from_str(&bpp_json::to_string(&c)).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn crash_validation_rejects_malformed_models() {
+        // mtbf and an explicit schedule are alternative crash sources.
+        let mut c = SystemConfig::small();
+        c.fault.crash = CrashConfig {
+            mtbf: 1000.0,
+            schedule: vec![50.0],
+            downtime: 10.0,
+            ..CrashConfig::none()
+        };
+        let errs = errors_of(&c);
+        assert!(
+            matches!(&errs[0], ConfigError::InvalidCrash(m) if m.contains("mutually exclusive"))
+        );
+        // Crashes without downtime make no sense.
+        c.fault.crash = CrashConfig {
+            mtbf: 1000.0,
+            downtime: 0.0,
+            ..CrashConfig::none()
+        };
+        let errs = errors_of(&c);
+        assert!(matches!(&errs[0], ConfigError::InvalidCrash(m) if m.contains("downtime")));
+        // Schedules must be strictly increasing.
+        c.fault.crash = CrashConfig {
+            schedule: vec![100.0, 100.0],
+            downtime: 10.0,
+            ..CrashConfig::none()
+        };
+        let errs = errors_of(&c);
+        assert!(
+            matches!(&errs[0], ConfigError::InvalidCrash(m) if m.contains("strictly increasing"))
+        );
+        // Jitter is a fraction.
+        c.fault.crash = CrashConfig {
+            mtbf: 1000.0,
+            downtime: 10.0,
+            reconnect_jitter: 1.5,
+            ..CrashConfig::none()
+        };
+        let errs = errors_of(&c);
+        assert!(matches!(&errs[0], ConfigError::InvalidCrash(m) if m.contains("reconnect_jitter")));
+    }
+
+    #[test]
+    fn admission_validation_is_surfaced() {
+        let mut c = SystemConfig::small();
+        c.fault.admission = AdmissionConfig {
+            rate: 1.0,
+            burst: 0.0,
+            retry_after: 8.0,
+        };
+        let errs = errors_of(&c);
+        assert!(matches!(&errs[0], ConfigError::InvalidAdmission(m) if m.contains("burst")));
     }
 
     #[test]

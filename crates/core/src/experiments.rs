@@ -10,8 +10,13 @@
 //! ([`par_run`]); every run derives its seed deterministically from the
 //! base seed, so figures are reproducible end to end.
 
-use crate::config::{Algorithm, ClientPopulation, FaultConfig, MeasurementProtocol, SystemConfig};
+use crate::config::{
+    Algorithm, ClientPopulation, CrashConfig, FaultConfig, MeasurementProtocol, SystemConfig,
+};
+use crate::fault::CrashReport;
 use crate::runner::{run_steady_state, run_warmup, SteadyStateResult};
+use bpp_client::RetryPolicy;
+use bpp_server::AdmissionConfig;
 use bpp_sim::approx::exactly_zero;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -37,6 +42,11 @@ pub const FLEET_GRID: [usize; 5] = [10, 50, 200, 1_000, 5_000];
 /// ThinkTimeRatio grid for the robustness scenario — denser at the loaded
 /// end (TTR=1 is the acceptance point for bounded degradation under loss).
 pub const LOSS_TTR_GRID: [f64; 5] = [1.0, 10.0, 25.0, 50.0, 100.0];
+
+/// Population sizes swept by the crash–recovery scenario ([`crash_sweep`]):
+/// the restart herd scales with the number of clients blocked during the
+/// outage, so the admission layer's value shows at the large end.
+pub const CRASH_GRID: [usize; 3] = [100, 1_000, 10_000];
 
 /// One labelled curve.
 #[derive(Debug, Clone)]
@@ -103,7 +113,7 @@ pub fn par_run(configs: &[SystemConfig], proto: &MeasurementProtocol) -> Vec<Ste
                     run_steady_state(&configs[i], proto)
                 }))
                 .unwrap_or_else(|payload| {
-                    SteadyStateResult::failed(panic_message(payload.as_ref()))
+                    SteadyStateResult::failed(panic_message(payload.as_ref()), &configs[i])
                 });
                 // bpp-lint: allow(D3): lock poisoning is impossible: worker closures catch_unwind around the only panic source
                 results.lock().expect("no panics hold the lock")[i] = Some(r);
@@ -643,6 +653,116 @@ pub fn fleet_sweep(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
     }
 }
 
+/// Crash–recovery scenario: one deterministic mid-run server crash over a
+/// fleet-population sweep ([`CRASH_GRID`]), with the admission layer off
+/// vs. on. Four curves over two sets of runs:
+///
+/// * **MTTR off/on** — mean time-to-recover (response EWMA back within
+///   `recovery_epsilon` of its pre-crash level) without and with
+///   admission control;
+/// * **Herd peak off/on** — the largest request-grain queue depth during
+///   recovery, the thundering-herd signature.
+///
+/// Operating point: IPP, PullBW 50%, no threshold, TTR 25, a roomy server
+/// queue (the paper-faithful bound would clip the herd signal), a fast
+/// retry policy so blocked clients re-pull promptly after the restart,
+/// and a crash at t=5000 with a 100-slot outage. The admission bucket is
+/// tuned to the operating point: the fleet offers ~1.4 requests/slot in
+/// steady state, so `rate` 2.0 keeps the bucket transparent outside the
+/// herd, while the small `burst` rejects the restart spike into a
+/// 32-slot retry-after spread. Both arms share reconnect jitter, so the
+/// delta isolates the server-side pacing.
+pub fn crash_sweep(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    fn operating_point(c: &mut SystemConfig) {
+        c.algorithm = Algorithm::Ipp;
+        c.pull_bw = 0.5;
+        c.thres_perc = 0.0;
+        c.steady_state_perc = 0.95;
+        c.think_time_ratio = 25.0;
+        c.server_queue_size = 1_000;
+        c.fault.retry = RetryPolicy {
+            max_retries: 6,
+            base_timeout: 8.0,
+            backoff_factor: 2.0,
+            max_backoff: 64.0,
+            jitter: 0.0,
+        };
+        // Three spaced crashes: MTTR is a mean over the recoveries the run
+        // reaches, which damps the sample noise of a single crossing.
+        c.fault.crash = CrashConfig {
+            mtbf: 0.0,
+            downtime: 100.0,
+            schedule: vec![5_000.0, 12_000.0, 19_000.0],
+            reconnect_jitter: 0.5,
+            recovery_epsilon: 0.5,
+        };
+    }
+    let arms = [
+        AdmissionConfig::disabled(),
+        AdmissionConfig {
+            rate: 2.0,
+            burst: 2.0,
+            retry_after: 32.0,
+        },
+    ];
+    let configs: Vec<SystemConfig> = arms
+        .iter()
+        .enumerate()
+        .flat_map(|(k, &admission)| {
+            CRASH_GRID
+                .iter()
+                .enumerate()
+                .map(move |(i, &n)| (k, i, n, admission))
+        })
+        .map(|(k, i, n, admission)| {
+            let mut c = base.clone();
+            operating_point(&mut c);
+            c.population = ClientPopulation::fleet(n);
+            c.fault.admission = admission;
+            c.seed = derive_seed(base.seed, (107 + k as u64) * 1000 + i as u64);
+            c
+        })
+        .collect();
+    let results = par_run(&configs, proto);
+    let (off, on) = results.split_at(CRASH_GRID.len());
+
+    let xs: Vec<f64> = CRASH_GRID.iter().map(|&n| n as f64).collect();
+    let crash_series =
+        |label: &str, rs: &[SteadyStateResult], pick: fn(&CrashReport) -> f64| Series {
+            label: label.to_string(),
+            points: xs
+                .iter()
+                .zip(rs)
+                .map(|(&x, r)| {
+                    let y = r
+                        .fault
+                        .as_ref()
+                        .and_then(|f| f.crash)
+                        .map_or(f64::NAN, |c| pick(&c));
+                    (x, y)
+                })
+                .collect(),
+            results: rs.to_vec(),
+        };
+    let series = vec![
+        crash_series("MTTR, admission off", off, |c| c.mean_time_to_recover),
+        crash_series("MTTR, admission on", on, |c| c.mean_time_to_recover),
+        crash_series("Herd peak, admission off", off, |c| {
+            c.herd_peak_depth as f64
+        }),
+        crash_series("Herd peak, admission on", on, |c| c.herd_peak_depth as f64),
+    ];
+    Figure {
+        id: "C1".into(),
+        title:
+            "Restart herd vs population: 3 crashes from t=5000, 100-slot outages, admission off/on"
+                .into(),
+        x_label: "Fleet Clients".into(),
+        y_label: "Broadcast Units / Pending Requests".into(),
+        series,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -697,11 +817,15 @@ mod tests {
         assert!(results[0].error.is_none());
         assert!(results[2].error.is_none());
         let failed = &results[1];
-        assert!(failed
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("invalid SystemConfig"));
+        let err = failed.error.as_ref().unwrap();
+        assert!(err.message.contains("invalid SystemConfig"));
+        // The structured error pins the failed cell: seed and a config
+        // snapshot that reproduces it (db_size = 0 was the poison).
+        assert_eq!(err.seed, configs[1].seed);
+        assert_eq!(err.config.db_size, 0);
+        let json = bpp_json::to_string(failed);
+        assert!(json.contains("\"error\""));
+        assert!(json.contains("\"config\""));
         assert!(failed.mean_response.is_nan());
         // The healthy cells are unaffected by their crashed neighbour.
         assert_eq!(results[0].mean_response, results[2].mean_response);
@@ -720,7 +844,7 @@ mod tests {
             assert!(s
                 .results
                 .iter()
-                .any(|r| r.fault.as_ref().unwrap().pages_lost > 0));
+                .any(|r| r.fault.as_ref().unwrap().channel.pages_lost > 0));
         }
         // Every cell completed with a finite response time: degradation is
         // bounded even at 20% loss.
@@ -787,6 +911,53 @@ mod tests {
             assert!(f.mean_flow.is_finite() && f.mean_flow >= 1.0);
             assert!(f.max_stretch >= f.mean_flow);
             assert!(f.completed > 0);
+        }
+    }
+
+    #[test]
+    fn crash_sweep_admission_tames_the_restart_herd() {
+        let base = small_base();
+        let mut proto = MeasurementProtocol::quick();
+        proto.max_accesses = 2_000;
+        proto.skip_accesses = 100;
+        let fig = crash_sweep(&base, &proto);
+        assert_eq!(fig.series.len(), 4);
+        // Every cell crashed exactly once, at the scheduled time, and
+        // recovered afterwards.
+        for s in &fig.series {
+            for r in &s.results {
+                assert!(r.error.is_none());
+                let c = r
+                    .fault
+                    .as_ref()
+                    .and_then(|f| f.crash)
+                    .expect("crash section present");
+                assert!(c.crashes >= 1);
+                assert_eq!(c.first_crash_at, Some(5_000.0));
+                assert!(c.recoveries >= 1, "recovered after restart: {c:?}");
+                assert!(c.orphaned + c.down_slots > 0);
+            }
+        }
+        // Acceptance: at fleet sizes >= 1e3 the admission layer strictly
+        // reduces both the restart-herd peak and the time-to-recover.
+        let (mttr_off, mttr_on) = (&fig.series[0], &fig.series[1]);
+        let (herd_off, herd_on) = (&fig.series[2], &fig.series[3]);
+        for (i, &n) in CRASH_GRID.iter().enumerate() {
+            if n < 1_000 {
+                continue;
+            }
+            assert!(
+                herd_on.points[i].1 < herd_off.points[i].1,
+                "admission must shrink the herd at n={n}: on={} off={}",
+                herd_on.points[i].1,
+                herd_off.points[i].1
+            );
+            assert!(
+                mttr_on.points[i].1 < mttr_off.points[i].1,
+                "admission must shorten MTTR at n={n}: on={} off={}",
+                mttr_on.points[i].1,
+                mttr_off.points[i].1
+            );
         }
     }
 

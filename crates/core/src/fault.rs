@@ -13,6 +13,14 @@
 //! * **client retries** and **server degradation** live in `bpp-client` /
 //!   `bpp-server`; their counters are folded into the same report.
 //!
+//! The crash–recovery domain adds two more artifacts here: the per-run
+//! [`CrashReport`] (embedded in the fault report when crashes are
+//! configured) and the [`ConservationLedger`], the auditor's view of where
+//! every sent request ended up. The ledger is the hard-failure backstop
+//! for chaos runs: requests may be lost, browned out, orphaned, rejected,
+//! dropped, served, or still in flight — but they may never simply
+//! disappear from the accounting.
+//!
 //! When the fault model is disabled the simulation holds no [`FaultLayer`]
 //! at all — no streams are seeded, no coins flipped, no report emitted —
 //! so a disabled-fault run is bitwise identical to one predating the
@@ -20,7 +28,7 @@
 
 use crate::config::FaultConfig;
 use bpp_broadcast::PageId;
-use bpp_json::{field, FromJson, Json, JsonError, ToJson};
+use bpp_json::{field, opt_field, FromJson, Json, JsonError, ToJson};
 use bpp_server::RequestQueue;
 use bpp_sim::{Rng, Xoshiro256pp};
 
@@ -72,27 +80,60 @@ impl FaultLayer {
         lost
     }
 
+    /// Flip the transit coin for one backchannel send. The coin is flipped
+    /// on *every* send — including sends into a brownout or at a crashed
+    /// server — so the `FAULT_REQ` stream position depends only on the
+    /// number of sends, not on server-side state.
+    pub fn transit_lost(&mut self) -> bool {
+        let lost = self.cfg.request_loss > 0.0 && self.rng_req.random_bool(self.cfg.request_loss);
+        if lost {
+            self.counters.requests_lost += 1;
+        }
+        lost
+    }
+
+    /// Clock check against the brownout window (no randomness); counts and
+    /// returns `true` when the server discards the request.
+    pub fn brownout_discard(&mut self, now: f64) -> bool {
+        let browned = self.cfg.in_brownout(now);
+        if browned {
+            self.counters.requests_browned_out += 1;
+        }
+        browned
+    }
+
     /// Carry one request over the backchannel toward `queue`: it may be
     /// lost in transit (`request_loss` coin), discarded by a browned-out
     /// server, or admitted through the ordinary (bounded, coalescing)
     /// queue path. Returns whether the request reached the queue.
     ///
-    /// The transit coin is flipped on every send — including sends into a
-    /// brownout — so the `FAULT_REQ` stream position depends only on the
-    /// number of sends, not on server-side state.
+    /// This is the no-crash composition of [`FaultLayer::transit_lost`]
+    /// and [`FaultLayer::brownout_discard`]; the `World` splices its
+    /// server-down and admission checks between the two.
     pub fn deliver(&mut self, queue: &mut RequestQueue, now: f64, page: PageId) -> bool {
-        let lost_in_transit =
-            self.cfg.request_loss > 0.0 && self.rng_req.random_bool(self.cfg.request_loss);
-        if lost_in_transit {
-            self.counters.requests_lost += 1;
+        if self.transit_lost() {
             return false;
         }
-        if self.cfg.in_brownout(now) {
-            self.counters.requests_browned_out += 1;
+        if self.brownout_discard(now) {
             return false;
         }
         queue.submit_at(page, now);
         true
+    }
+
+    /// Re-point the channel loss rates mid-run (chaos-phase transitions).
+    /// Stream positions are unaffected: the loss coins keep drawing from
+    /// wherever they were.
+    pub fn set_channel_loss(&mut self, broadcast_loss: f64, request_loss: f64) {
+        self.cfg.broadcast_loss = broadcast_loss;
+        self.cfg.request_loss = request_loss;
+    }
+
+    /// Re-point the brownout window mid-run (chaos-phase transitions).
+    /// Brownouts are a clock check, so this perturbs no RNG stream either.
+    pub fn set_brownout(&mut self, period: f64, duration: f64) {
+        self.cfg.brownout_period = period;
+        self.cfg.brownout_duration = duration;
     }
 
     /// The loss counters so far.
@@ -101,16 +142,88 @@ impl FaultLayer {
     }
 }
 
+/// Everything the crash–recovery domain did to one run, embedded in the
+/// [`FaultReport`] (and its JSON) only when crashes are configured.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CrashReport {
+    /// Server crashes that occurred during the run.
+    pub crashes: u64,
+    /// Requests that reached the server but were never served because of a
+    /// crash: pending queue entries drained at crash time (riders counted
+    /// at request grain) plus requests refused while the server was down.
+    pub orphaned: u64,
+    /// Broadcast slots that elapsed while the server was down (silent
+    /// channel).
+    pub down_slots: u64,
+    /// Largest request-grain queue depth observed between a restart and
+    /// the corresponding recovery — the thundering-herd signature.
+    pub herd_peak_depth: u64,
+    /// Crashes whose recovery completed within the run (the response EWMA
+    /// returned to within `recovery_epsilon` of its pre-crash level).
+    pub recoveries: u64,
+    /// Mean time-to-recover over completed recoveries (broadcast units;
+    /// `0` when none completed).
+    pub mean_time_to_recover: f64,
+    /// Worst time-to-recover over completed recoveries.
+    pub max_time_to_recover: f64,
+    /// When the first crash struck, if any did (pins the exponential
+    /// schedule in determinism tests).
+    pub first_crash_at: Option<f64>,
+    /// Requests admitted by the token bucket (when admission is enabled).
+    pub admitted: u64,
+    /// Requests bounced by the token bucket with a retry-after hint.
+    pub admission_rejected: u64,
+}
+
+impl ToJson for CrashReport {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object([
+            ("crashes", self.crashes.to_json()),
+            ("orphaned", self.orphaned.to_json()),
+            ("down_slots", self.down_slots.to_json()),
+            ("herd_peak_depth", self.herd_peak_depth.to_json()),
+            ("recoveries", self.recoveries.to_json()),
+            ("mean_time_to_recover", self.mean_time_to_recover.to_json()),
+            ("max_time_to_recover", self.max_time_to_recover.to_json()),
+            ("admitted", self.admitted.to_json()),
+            ("admission_rejected", self.admission_rejected.to_json()),
+        ]);
+        if let (Json::Obj(members), Some(t)) = (&mut obj, self.first_crash_at) {
+            members.push(("first_crash_at".to_string(), t.to_json()));
+        }
+        obj
+    }
+}
+
+impl FromJson for CrashReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CrashReport {
+            crashes: field(v, "crashes")?,
+            orphaned: field(v, "orphaned")?,
+            down_slots: field(v, "down_slots")?,
+            herd_peak_depth: field(v, "herd_peak_depth")?,
+            recoveries: field(v, "recoveries")?,
+            mean_time_to_recover: field(v, "mean_time_to_recover")?,
+            max_time_to_recover: field(v, "max_time_to_recover")?,
+            admitted: field(v, "admitted")?,
+            admission_rejected: field(v, "admission_rejected")?,
+            first_crash_at: opt_field(v, "first_crash_at")?,
+        })
+    }
+}
+
 /// Everything the fault model did to one run, serialized alongside the
 /// steady-state result (only when the fault model is enabled).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The channel-loss counters are carried verbatim from the
+/// [`FaultLayer`]'s [`FaultCounters`] — one conversion point, no
+/// field-by-field copying — but the JSON stays flat (the same ten keys as
+/// before the embed) so pinned goldens and downstream parsers are
+/// untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FaultReport {
-    /// Page-carrying slots lost on the frontchannel.
-    pub pages_lost: u64,
-    /// Requests lost in transit on the backchannel.
-    pub requests_lost: u64,
-    /// Requests discarded by the server during brownout windows.
-    pub requests_browned_out: u64,
+    /// Channel-level losses straight from the fault layer.
+    pub channel: FaultCounters,
     /// Requests discarded at a full queue (whole run).
     pub dropped_full: u64,
     /// Queue entries evicted under the `DropOldest` overflow policy.
@@ -126,22 +239,31 @@ pub struct FaultReport {
     pub recoveries: u64,
     /// Slots spent in the degraded (saturated) state.
     pub saturated_slots: u64,
+    /// The crash–recovery section, present only when crashes are
+    /// configured (its JSON key is omitted otherwise).
+    pub crash: Option<CrashReport>,
 }
 
 impl FaultReport {
     /// Total requests the fault model prevented from being served
     /// (in-transit losses, brownout discards, and queue drops/evictions).
     pub fn requests_denied(&self) -> u64 {
-        self.requests_lost + self.requests_browned_out + self.dropped_full + self.dropped_evicted
+        self.channel.requests_lost
+            + self.channel.requests_browned_out
+            + self.dropped_full
+            + self.dropped_evicted
     }
 }
 
 impl ToJson for FaultReport {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("pages_lost", self.pages_lost.to_json()),
-            ("requests_lost", self.requests_lost.to_json()),
-            ("requests_browned_out", self.requests_browned_out.to_json()),
+        let mut obj = Json::object([
+            ("pages_lost", self.channel.pages_lost.to_json()),
+            ("requests_lost", self.channel.requests_lost.to_json()),
+            (
+                "requests_browned_out",
+                self.channel.requests_browned_out.to_json(),
+            ),
             ("dropped_full", self.dropped_full.to_json()),
             ("dropped_evicted", self.dropped_evicted.to_json()),
             ("retries", self.retries.to_json()),
@@ -149,16 +271,22 @@ impl ToJson for FaultReport {
             ("degradations", self.degradations.to_json()),
             ("recoveries", self.recoveries.to_json()),
             ("saturated_slots", self.saturated_slots.to_json()),
-        ])
+        ]);
+        if let (Json::Obj(members), Some(crash)) = (&mut obj, &self.crash) {
+            members.push(("crash".to_string(), crash.to_json()));
+        }
+        obj
     }
 }
 
 impl FromJson for FaultReport {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         Ok(FaultReport {
-            pages_lost: field(v, "pages_lost")?,
-            requests_lost: field(v, "requests_lost")?,
-            requests_browned_out: field(v, "requests_browned_out")?,
+            channel: FaultCounters {
+                pages_lost: field(v, "pages_lost")?,
+                requests_lost: field(v, "requests_lost")?,
+                requests_browned_out: field(v, "requests_browned_out")?,
+            },
             dropped_full: field(v, "dropped_full")?,
             dropped_evicted: field(v, "dropped_evicted")?,
             retries: field(v, "retries")?,
@@ -166,7 +294,139 @@ impl FromJson for FaultReport {
             degradations: field(v, "degradations")?,
             recoveries: field(v, "recoveries")?,
             saturated_slots: field(v, "saturated_slots")?,
+            crash: opt_field(v, "crash")?,
         })
+    }
+}
+
+/// The auditor's account of every backchannel request in one faulted run.
+///
+/// Conservation says a sent request ends in exactly one bucket:
+///
+/// ```text
+/// sent == lost_in_transit + browned_out + orphaned + admission_rejected
+///       + dropped_full + evicted + served + in_flight_at_end
+/// ```
+///
+/// [`ConservationLedger::violations`] also checks the queue bound
+/// (request-grain depth never exceeded what the capacity allows) and
+/// monotone simulation time. Chaos runs call
+/// [`ConservationLedger::assert_clean`] after every phase schedule —
+/// a violation is a simulator bug, never survivable data.
+///
+/// Serialized (one way) into the chaos harness output; never parsed back.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConservationLedger {
+    /// Requests sent by clients (Measured Client and fleet alike).
+    pub sent: u64,
+    /// Lost to the `request_loss` transit coin.
+    pub lost_in_transit: u64,
+    /// Discarded inside brownout windows.
+    pub browned_out: u64,
+    /// Lost to a crash: drained from the queue or refused while down.
+    pub orphaned: u64,
+    /// Bounced by the admission token bucket.
+    pub admission_rejected: u64,
+    /// Dropped at a full queue (request grain: riders included).
+    pub dropped_full: u64,
+    /// Evicted under `DropOldest` (request grain: riders included).
+    pub evicted: u64,
+    /// Served by a pull slot (request grain: riders included).
+    pub served: u64,
+    /// Still pending in the queue when the run ended (request grain).
+    pub in_flight_at_end: u64,
+    /// Largest entry-grain queue depth ever observed.
+    pub peak_queue_depth: u64,
+    /// The configured queue capacity the peak is checked against.
+    pub queue_capacity: u64,
+    /// Times the event clock ran backwards (must be zero).
+    pub time_regressions: u64,
+}
+
+impl ConservationLedger {
+    /// The sum of all terminal buckets (the right-hand side of the
+    /// conservation equation).
+    pub fn accounted(&self) -> u64 {
+        self.lost_in_transit
+            + self.browned_out
+            + self.orphaned
+            + self.admission_rejected
+            + self.dropped_full
+            + self.evicted
+            + self.served
+            + self.in_flight_at_end
+    }
+
+    /// Every invariant this ledger violates, as human-readable findings.
+    /// Empty means the run conserved requests, respected the queue bound,
+    /// and never moved time backwards.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let accounted = self.accounted();
+        if self.sent != accounted {
+            v.push(format!(
+                "request conservation violated: sent {} != accounted {} \
+                 (lost {} + browned {} + orphaned {} + rejected {} + dropped {} \
+                 + evicted {} + served {} + in-flight {})",
+                self.sent,
+                accounted,
+                self.lost_in_transit,
+                self.browned_out,
+                self.orphaned,
+                self.admission_rejected,
+                self.dropped_full,
+                self.evicted,
+                self.served,
+                self.in_flight_at_end,
+            ));
+        }
+        if self.peak_queue_depth > self.queue_capacity {
+            v.push(format!(
+                "queue bound violated: peak depth {} exceeds capacity {}",
+                self.peak_queue_depth, self.queue_capacity
+            ));
+        }
+        if self.time_regressions > 0 {
+            v.push(format!(
+                "monotone time violated: the clock ran backwards {} time(s)",
+                self.time_regressions
+            ));
+        }
+        v
+    }
+
+    /// Hard-fail on any violation: the chaos harness treats a dirty ledger
+    /// as a simulator bug, not a reportable result.
+    ///
+    /// # Panics
+    ///
+    /// Panics with every violation listed when the ledger is dirty.
+    pub fn assert_clean(&self) {
+        let violations = self.violations();
+        assert!(
+            violations.is_empty(),
+            "conservation audit failed:\n  {}",
+            violations.join("\n  ")
+        );
+    }
+}
+
+impl ToJson for ConservationLedger {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("sent", self.sent.to_json()),
+            ("lost_in_transit", self.lost_in_transit.to_json()),
+            ("browned_out", self.browned_out.to_json()),
+            ("orphaned", self.orphaned.to_json()),
+            ("admission_rejected", self.admission_rejected.to_json()),
+            ("dropped_full", self.dropped_full.to_json()),
+            ("evicted", self.evicted.to_json()),
+            ("served", self.served.to_json()),
+            ("in_flight_at_end", self.in_flight_at_end.to_json()),
+            ("peak_queue_depth", self.peak_queue_depth.to_json()),
+            ("queue_capacity", self.queue_capacity.to_json()),
+            ("time_regressions", self.time_regressions.to_json()),
+        ])
     }
 }
 
@@ -246,9 +506,11 @@ mod tests {
     #[test]
     fn report_round_trips_through_json() {
         let r = FaultReport {
-            pages_lost: 1,
-            requests_lost: 2,
-            requests_browned_out: 3,
+            channel: FaultCounters {
+                pages_lost: 1,
+                requests_lost: 2,
+                requests_browned_out: 3,
+            },
             dropped_full: 4,
             dropped_evicted: 5,
             retries: 6,
@@ -256,10 +518,100 @@ mod tests {
             degradations: 8,
             recoveries: 9,
             saturated_slots: 10,
+            crash: None,
         };
         let text = bpp_json::to_string(&r);
+        // Channel counters stay flat in the JSON (backward-compatible keys).
+        assert!(text.contains("\"pages_lost\""));
+        assert!(!text.contains("\"channel\""));
+        assert!(!text.contains("\"crash\""), "crash key absent when None");
         let back: FaultReport = bpp_json::from_str(&text).unwrap();
         assert_eq!(r, back);
         assert_eq!(r.requests_denied(), 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn crash_section_round_trips_when_present() {
+        let r = FaultReport {
+            crash: Some(CrashReport {
+                crashes: 2,
+                orphaned: 11,
+                down_slots: 128,
+                herd_peak_depth: 40,
+                recoveries: 2,
+                mean_time_to_recover: 75.5,
+                max_time_to_recover: 90.0,
+                first_crash_at: Some(512.0),
+                admitted: 100,
+                admission_rejected: 17,
+            }),
+            ..FaultReport::default()
+        };
+        let text = bpp_json::to_string(&r);
+        assert!(text.contains("\"crash\""));
+        let back: FaultReport = bpp_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
+        // A crash report with no crash yet omits `first_crash_at` entirely.
+        let quiet = FaultReport {
+            crash: Some(CrashReport::default()),
+            ..FaultReport::default()
+        };
+        let text = bpp_json::to_string(&quiet);
+        assert!(!text.contains("first_crash_at"));
+        let back: FaultReport = bpp_json::from_str(&text).unwrap();
+        assert_eq!(quiet, back);
+    }
+
+    #[test]
+    fn ledger_balance_is_clean_only_when_every_request_is_accounted() {
+        let ledger = ConservationLedger {
+            sent: 100,
+            lost_in_transit: 10,
+            browned_out: 5,
+            orphaned: 7,
+            admission_rejected: 8,
+            dropped_full: 20,
+            evicted: 4,
+            served: 40,
+            in_flight_at_end: 6,
+            peak_queue_depth: 9,
+            queue_capacity: 10,
+            time_regressions: 0,
+        };
+        assert_eq!(ledger.accounted(), 100);
+        assert!(ledger.violations().is_empty());
+        ledger.assert_clean();
+        // Dropping a single orphan from the books trips conservation.
+        let mut cooked = ledger;
+        cooked.orphaned -= 1;
+        let v = cooked.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("conservation"));
+    }
+
+    #[test]
+    fn ledger_flags_queue_bound_and_time_regressions() {
+        let ledger = ConservationLedger {
+            sent: 1,
+            served: 1,
+            peak_queue_depth: 11,
+            queue_capacity: 10,
+            time_regressions: 2,
+            ..ConservationLedger::default()
+        };
+        let v = ledger.violations();
+        assert_eq!(v.len(), 2);
+        assert!(v[0].contains("queue bound"));
+        assert!(v[1].contains("monotone time"));
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation audit failed")]
+    fn dirty_ledger_hard_fails() {
+        ConservationLedger {
+            sent: 3,
+            ..ConservationLedger::default()
+        }
+        .assert_clean();
     }
 }

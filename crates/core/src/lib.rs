@@ -42,6 +42,7 @@
 
 pub mod adaptive;
 pub mod analytic;
+pub mod chaos;
 pub mod config;
 pub mod experiments;
 pub mod fault;
@@ -50,17 +51,20 @@ pub mod report;
 pub mod runner;
 pub mod simulation;
 
+pub use chaos::{run_chaos, ChaosResult, FaultPhase, FaultSchedule};
 pub use config::{
-    Algorithm, CachePolicy, ClientPopulation, ConfigError, ConfigErrors, FaultConfig,
+    Algorithm, CachePolicy, ClientPopulation, ConfigError, ConfigErrors, CrashConfig, FaultConfig,
     MeasurementProtocol, QueueDiscipline, SystemConfig,
 };
-pub use fault::{FaultCounters, FaultLayer, FaultReport};
+pub use fault::{ConservationLedger, CrashReport, FaultCounters, FaultLayer, FaultReport};
 // The observability knob block and report type are part of the public
 // config/result surface; re-export them alongside SystemConfig.
 pub use bpp_obs::{ObsConfig, ObsReport};
 // The fault-model policy knobs live with their mechanisms; re-export them so
 // a `FaultConfig` can be assembled from this crate alone.
 pub use bpp_client::{RetryPolicy, RetryState};
-pub use bpp_server::{OverflowPolicy, SaturationPolicy};
-pub use runner::{run_steady_state, run_warmup, FleetResult, SteadyStateResult, WarmupResult};
+pub use bpp_server::{AdmissionConfig, OverflowPolicy, SaturationPolicy};
+pub use runner::{
+    run_steady_state, run_warmup, FleetResult, RunError, SteadyStateResult, WarmupResult,
+};
 pub use simulation::{streams, SlotAccounting, World};

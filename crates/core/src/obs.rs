@@ -30,6 +30,12 @@ pub(crate) struct ObsState {
     /// `None` under the aggregate population so its report keys (and the
     /// serialized bytes) only exist when a fleet runs.
     fleet_hit_rate: Option<Timeline>,
+    /// Measured Client cumulative cache hit rate, sampled at every slot
+    /// boundary; `None` unless the `mc_hit_rate` obs knob is on.
+    mc_hit_rate: Option<Timeline>,
+    /// Server availability (0 up / 1 down / 2 recovering), sampled at
+    /// every slot boundary; `None` unless the crash domain is active.
+    fault_state: Option<Timeline>,
 }
 
 impl ObsState {
@@ -42,6 +48,8 @@ impl ObsState {
             vc_requests_sent: 0,
             vc_requests_filtered: 0,
             fleet_hit_rate: None,
+            mc_hit_rate: None,
+            fault_state: None,
         }
     }
 
@@ -50,10 +58,34 @@ impl ObsState {
         self.fleet_hit_rate = Some(Timeline::new(self.cfg.timeline_stride));
     }
 
+    /// Start the MC hit-rate timeline (`mc_hit_rate` knob only).
+    pub(crate) fn enable_mc_hit_rate(&mut self) {
+        self.mc_hit_rate = Some(Timeline::new(self.cfg.timeline_stride));
+    }
+
+    /// Start the server-availability timeline (crash domain only).
+    pub(crate) fn enable_fault_state(&mut self) {
+        self.fault_state = Some(Timeline::new(self.cfg.timeline_stride));
+    }
+
     /// Sample the fleet's cumulative hit rate at a slot boundary.
     pub(crate) fn on_slot_fleet(&mut self, now: f64, hit_rate: f64) {
         if let Some(tl) = &mut self.fleet_hit_rate {
             tl.update(now, hit_rate);
+        }
+    }
+
+    /// Sample the MC's cumulative cache hit rate at a slot boundary.
+    pub(crate) fn on_slot_mc_hit_rate(&mut self, now: f64, hit_rate: f64) {
+        if let Some(tl) = &mut self.mc_hit_rate {
+            tl.update(now, hit_rate);
+        }
+    }
+
+    /// Sample the server availability state at a slot boundary.
+    pub(crate) fn on_slot_fault_state(&mut self, now: f64, state: f64) {
+        if let Some(tl) = &mut self.fault_state {
+            tl.update(now, state);
         }
     }
 
@@ -77,6 +109,12 @@ impl ObsState {
         report.add_timeline("server.queue_depth", self.queue_depth.sealed(t_end));
         if let Some(tl) = &self.fleet_hit_rate {
             report.add_timeline("client.fleet.hit_rate", tl.sealed(t_end));
+        }
+        if let Some(tl) = &self.mc_hit_rate {
+            report.add_timeline("client.mc.hit_rate", tl.sealed(t_end));
+        }
+        if let Some(tl) = &self.fault_state {
+            report.add_timeline("fault.state", tl.sealed(t_end));
         }
         let m = &mut report.metrics;
         m.add("server.pull_wait.count", self.pull_wait.count());

@@ -54,10 +54,36 @@ pub struct SteadyStateResult {
     /// population (the default), keeping the serialized result identical
     /// to pre-fleet output.
     pub fleet: Option<FleetResult>,
-    /// Panic message when this cell of a sweep crashed instead of running
-    /// to completion (see [`crate::experiments::par_run`]); `None` for a
-    /// run that finished normally.
-    pub error: Option<String>,
+    /// Structured failure record when this cell of a sweep crashed instead
+    /// of running to completion (see [`crate::experiments::par_run`]);
+    /// `None` for a run that finished normally.
+    pub error: Option<RunError>,
+}
+
+/// What a crashed sweep cell leaves behind: the panic message plus enough
+/// context (seed and full config snapshot) to re-run that exact cell in
+/// isolation. Serialized under the result's `"error"` key; never parsed
+/// back (failed cells are re-run from the embedded config, not
+/// deserialized).
+#[derive(Debug, Clone)]
+pub struct RunError {
+    /// The panic message.
+    pub message: String,
+    /// The seed the cell ran with (also inside `config`; hoisted so log
+    /// scrapers need not parse the snapshot).
+    pub seed: u64,
+    /// Full configuration snapshot of the failed cell.
+    pub config: SystemConfig,
+}
+
+impl ToJson for RunError {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("message", self.message.to_json()),
+            ("seed", self.seed.to_json()),
+            ("config", self.config.to_json()),
+        ])
+    }
 }
 
 /// Per-fleet metrics of a steady-state run under a fleet population
@@ -113,8 +139,9 @@ impl ToJson for FleetResult {
 
 impl SteadyStateResult {
     /// A placeholder result for a sweep cell that panicked: every metric is
-    /// poisoned (NaN / zero) and `error` carries the panic message.
-    pub fn failed(msg: String) -> Self {
+    /// poisoned (NaN / zero) and `error` carries the panic message together
+    /// with the failed cell's seed and config snapshot.
+    pub fn failed(msg: String, cfg: &SystemConfig) -> Self {
         SteadyStateResult {
             mean_response: f64::NAN,
             ci_half_width: f64::NAN,
@@ -138,7 +165,11 @@ impl SteadyStateResult {
             fault: None,
             obs: None,
             fleet: None,
-            error: Some(msg),
+            error: Some(RunError {
+                message: msg,
+                seed: cfg.seed,
+                config: cfg.clone(),
+            }),
         }
     }
 }

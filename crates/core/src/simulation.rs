@@ -24,8 +24,10 @@
 //! `WarmupExperiment` phase runs the Figure-4 protocol instead: a cold
 //! client, timing how fast the cache acquires its ideal content.
 
-use crate::config::{Algorithm, CachePolicy, MeasurementProtocol, QueueDiscipline, SystemConfig};
-use crate::fault::{FaultLayer, FaultReport};
+use crate::config::{
+    Algorithm, CachePolicy, CrashConfig, MeasurementProtocol, QueueDiscipline, SystemConfig,
+};
+use crate::fault::{ConservationLedger, CrashReport, FaultLayer, FaultReport};
 use crate::obs::ObsState;
 use bpp_broadcast::{
     assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot,
@@ -37,11 +39,11 @@ use bpp_client::{
 };
 use bpp_obs::{EngineObs, ObsReport};
 use bpp_server::{
-    BandwidthMux, Discipline, QueueStats, RequestQueue, SaturationDetector, SlotDecision,
+    Admission, BandwidthMux, Discipline, QueueStats, RequestQueue, SaturationDetector, SlotDecision,
 };
 use bpp_sim::{
-    stream_rng, BatchMeans, Confidence, Engine, Histogram, Model, Rng, Scheduler, Time, Welford,
-    Xoshiro256pp,
+    stream_rng, BatchMeans, Confidence, Engine, Ewma, Histogram, Model, Rng, Scheduler, Time,
+    Welford, Xoshiro256pp,
 };
 use bpp_workload::{AccessPattern, NoisePermutation, ThinkTime, Zipf};
 
@@ -63,11 +65,14 @@ use bpp_workload::{AccessPattern, NoisePermutation, ThinkTime, Zipf};
 /// | 6  | `FAULT_REQ`  | fault model, backchannel           | `request_loss > 0`    |
 /// | 7  | `RETRY`      | `bpp_client::retry` jitter         | `jitter > 0`          |
 /// | 8  | `FLEET`      | `bpp_client::arena` client fleet   | `population` = fleet  |
+/// | 9  | `CRASH`      | crash model, MTBF inter-crash draws| `crash.mtbf > 0`      |
 ///
 /// Streams 0–4 are golden-pinned from the base system; 5–7 belong to the
 /// fault model and are seeded only when the corresponding knob is enabled;
 /// 8 belongs to the million-client extension and is drawn only when
-/// `population` selects a real fleet.
+/// `population` selects a real fleet; 9 belongs to the crash–recovery
+/// domain and is seeded only when `crash.mtbf > 0` (an explicit crash
+/// schedule draws nothing).
 /// `bpp-lint` rule D1 enforces that (a) every `stream_rng`/`.named` call
 /// outside `crates/sim` names one of these constants and (b) the ids here
 /// stay unique and documented. `bpp_client` cannot depend on this crate,
@@ -99,6 +104,10 @@ pub mod streams {
     /// access draws and retry jitter of every fleet client, drawn only
     /// when `population` selects a real fleet (`fleet_clients > 0`).
     pub const FLEET: u64 = 8;
+    /// 9 — crash model: exponential inter-crash draws, one per crash,
+    /// seeded and drawn only when `crash.mtbf > 0` (explicit schedules
+    /// are deterministic and draw nothing).
+    pub const CRASH: u64 = 9;
 }
 
 /// Events of the integrated model.
@@ -215,6 +224,140 @@ impl UpdateProcess {
     }
 }
 
+/// What the sender learns from one backchannel send.
+///
+/// The paper's channel is silent: a request is delivered, lost, browned
+/// out or queue-dropped and the client hears nothing either way. The
+/// crash domain adds two *feedback* outcomes — a dead server fails the
+/// connection fast, and the admission layer bounces with a retry-after
+/// hint — which the retry paths fold into their next delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SendOutcome {
+    /// No feedback (the legacy path, whatever happened in transit).
+    Silent,
+    /// The server is down; the connection attempt failed fast.
+    Refused,
+    /// The admission token bucket bounced the request with this hint.
+    RetryAfter(f64),
+}
+
+/// Stretch a retry delay after a send with feedback: take the max of the
+/// client's own backoff and the server's retry-after hint, then spread
+/// the reconnect herd with a uniform jitter factor in
+/// `[1, 1 + jitter)`. Draws from `rng` only when the jitter knob is on
+/// *and* the send got feedback, so crash-disabled runs draw nothing
+/// extra from any stream.
+fn reconnect_delay(base: f64, outcome: SendOutcome, jitter: f64, rng: &mut Xoshiro256pp) -> f64 {
+    let floor = match outcome {
+        SendOutcome::Silent => return base,
+        SendOutcome::Refused => base,
+        SendOutcome::RetryAfter(hint) => base.max(hint),
+    };
+    if jitter > 0.0 {
+        let u: f64 = rng.random();
+        floor * (1.0 + jitter * u)
+    } else {
+        floor
+    }
+}
+
+/// The crash–recovery state machine (constructed only when crashes are
+/// configured; see [`CrashConfig`]).
+///
+/// Crash and restart edges are detected at slot boundaries. A crash
+/// drains the request queue (orphaning every pending request), resets the
+/// saturation detector and adaptive controller, and silences the
+/// broadcast until `down_until`. After the restart the server is
+/// `recovering` until the Measured Client's response EWMA returns to
+/// within `recovery_epsilon` of its pre-crash level; the largest
+/// request-grain queue depth seen while recovering is the thundering-herd
+/// signature.
+#[derive(Debug, Clone)]
+struct CrashState {
+    cfg: CrashConfig,
+    /// Exponential inter-crash draws; `None` under an explicit schedule.
+    rng: Option<Xoshiro256pp>,
+    /// Remaining explicit crash times (absolute, ascending).
+    schedule: std::collections::VecDeque<f64>,
+    next_crash_at: f64,
+    down: bool,
+    down_until: f64,
+    recovering: bool,
+    restart_at: f64,
+    /// Response-time EWMA feeding the recovery detector (fixed smoothing:
+    /// the detector is diagnostic, not a control loop).
+    resp_ewma: Ewma,
+    /// EWMA level snapshotted at the last crash edge.
+    pre_crash_level: f64,
+    crashes: u64,
+    /// Requests drained from the queue at crash edges (request grain).
+    orphaned_drained: u64,
+    /// Requests refused while the server was down.
+    refused_down: u64,
+    down_slots: u64,
+    herd_peak_depth: u64,
+    recoveries: u64,
+    ttr_sum: f64,
+    ttr_max: f64,
+    first_crash_at: Option<f64>,
+}
+
+impl CrashState {
+    /// Smoothing factor of the recovery detector's response EWMA.
+    const RESPONSE_SMOOTHING: f64 = 0.1;
+
+    fn new(cfg: CrashConfig, seed: u64) -> Self {
+        let mut rng = (cfg.mtbf > 0.0).then(|| stream_rng(seed, streams::CRASH));
+        let mut schedule: std::collections::VecDeque<f64> = cfg.schedule.iter().copied().collect();
+        let next_crash_at = match &mut rng {
+            Some(r) => Self::draw_interval(cfg.mtbf, r),
+            None => schedule.pop_front().unwrap_or(f64::INFINITY),
+        };
+        CrashState {
+            cfg,
+            rng,
+            schedule,
+            next_crash_at,
+            down: false,
+            down_until: 0.0,
+            recovering: false,
+            restart_at: 0.0,
+            resp_ewma: Ewma::new(Self::RESPONSE_SMOOTHING),
+            pre_crash_level: 0.0,
+            crashes: 0,
+            orphaned_drained: 0,
+            refused_down: 0,
+            down_slots: 0,
+            herd_peak_depth: 0,
+            recoveries: 0,
+            ttr_sum: 0.0,
+            ttr_max: 0.0,
+            first_crash_at: None,
+        }
+    }
+
+    fn draw_interval(mtbf: f64, rng: &mut Xoshiro256pp) -> f64 {
+        let u: f64 = rng.random();
+        -mtbf * (1.0 - u).ln()
+    }
+
+    /// Arm the next crash after a restart at `now`. MTBF is measured
+    /// restart-to-crash; explicit schedule entries that fell inside the
+    /// downtime are skipped (the server was already dead).
+    fn schedule_next(&mut self, now: f64) {
+        self.next_crash_at = match &mut self.rng {
+            Some(r) => now + Self::draw_interval(self.cfg.mtbf, r),
+            None => loop {
+                match self.schedule.pop_front() {
+                    Some(t) if t <= now => continue,
+                    Some(t) => break t,
+                    None => break f64::INFINITY,
+                }
+            },
+        };
+    }
+}
+
 /// The assembled simulation state.
 pub struct World {
     program: BroadcastProgram,
@@ -268,6 +411,22 @@ pub struct World {
     /// Observability state; `None` (the default) records nothing and keeps
     /// the run's instruction stream identical to a build without the layer.
     obs: Option<ObsState>,
+    // --- Crash–recovery domain (both None/0 when crashes are off). ---
+    /// Crash state machine; `None` means no crash source is configured.
+    crash: Option<CrashState>,
+    /// Backchannel token bucket; `None` when admission is disabled.
+    admission: Option<Admission>,
+    /// Reconnect-jitter fraction (0 draws nothing; see `reconnect_delay`).
+    reconnect_jitter: f64,
+    // --- Conservation audit (plain counters: no RNG, no JSON keys). ---
+    /// Backchannel requests sent (MC + VC + fleet, retries included).
+    audit_sent: u64,
+    /// Largest entry-grain queue depth sampled at a slot boundary.
+    peak_queue_depth: u64,
+    /// Latest event time the handler has seen (monotonicity check).
+    last_event_time: f64,
+    /// Times the event clock ran backwards (a clean run keeps this 0).
+    time_regressions: u64,
 }
 
 impl World {
@@ -415,10 +574,11 @@ impl World {
 
         // --- Fault model: construct only what the config enables, so the
         // disabled path is bitwise-identical to the pre-fault simulator. ---
-        let fault_cfg = cfg.fault;
+        let fault_cfg = cfg.fault.clone();
         let has_channel_faults = fault_cfg.broadcast_loss > 0.0
             || fault_cfg.request_loss > 0.0
             || fault_cfg.has_brownouts();
+        let crash_active = fault_cfg.crash.enabled();
         let fleet_active = fleet.is_some();
         let queue = {
             let mut q = RequestQueue::with_discipline(
@@ -480,7 +640,7 @@ impl World {
             done: false,
             fault: has_channel_faults.then(|| {
                 FaultLayer::new(
-                    fault_cfg,
+                    fault_cfg.clone(),
                     stream_rng(cfg.seed, streams::FAULT_LOSS),
                     stream_rng(cfg.seed, streams::FAULT_REQ),
                 )
@@ -502,8 +662,24 @@ impl World {
                 if fleet_active {
                     o.enable_fleet();
                 }
+                if cfg.obs.mc_hit_rate {
+                    o.enable_mc_hit_rate();
+                }
+                if crash_active {
+                    o.enable_fault_state();
+                }
                 o
             }),
+            crash: crash_active.then(|| CrashState::new(fault_cfg.crash.clone(), cfg.seed)),
+            admission: fault_cfg
+                .admission
+                .enabled()
+                .then(|| Admission::new(fault_cfg.admission)),
+            reconnect_jitter: fault_cfg.crash.reconnect_jitter,
+            audit_sent: 0,
+            peak_queue_depth: 0,
+            last_event_time: 0.0,
+            time_regressions: 0,
         }
     }
 
@@ -600,6 +776,8 @@ impl World {
                 dropped_full: total.dropped_full - at.dropped_full,
                 dropped_evicted: total.dropped_evicted - at.dropped_evicted,
                 served: total.served - at.served,
+                served_requests: total.served_requests - at.served_requests,
+                evicted_requests: total.evicted_requests - at.evicted_requests,
             },
         }
     }
@@ -622,9 +800,7 @@ impl World {
             .unwrap_or_default();
         let q = self.queue.stats();
         Some(FaultReport {
-            pages_lost: channel.pages_lost,
-            requests_lost: channel.requests_lost,
-            requests_browned_out: channel.requests_browned_out,
+            channel,
             dropped_full: q.dropped_full,
             dropped_evicted: q.dropped_evicted,
             retries: self.retries,
@@ -632,7 +808,90 @@ impl World {
             degradations: sat.degradations,
             recoveries: sat.recoveries,
             saturated_slots: sat.saturated_slots,
+            crash: self.crash_report(),
         })
+    }
+
+    /// What the crash–recovery domain did to this run, or `None` when
+    /// neither crashes nor admission control are configured.
+    pub fn crash_report(&self) -> Option<CrashReport> {
+        if self.crash.is_none() && self.admission.is_none() {
+            return None;
+        }
+        let a = self
+            .admission
+            .as_ref()
+            .map(|a| *a.stats())
+            .unwrap_or_default();
+        let mut report = CrashReport {
+            admitted: a.admitted,
+            admission_rejected: a.rejected,
+            ..CrashReport::default()
+        };
+        if let Some(c) = &self.crash {
+            report.crashes = c.crashes;
+            report.orphaned = c.orphaned_drained + c.refused_down;
+            report.down_slots = c.down_slots;
+            report.herd_peak_depth = c.herd_peak_depth;
+            report.recoveries = c.recoveries;
+            report.mean_time_to_recover = if c.recoveries > 0 {
+                c.ttr_sum / c.recoveries as f64
+            } else {
+                0.0
+            };
+            report.max_time_to_recover = c.ttr_max;
+            report.first_crash_at = c.first_crash_at;
+        }
+        Some(report)
+    }
+
+    /// The auditor's account of every backchannel request: available after
+    /// any run (audit counters are unconditional), meaningful hard-checked
+    /// invariants for chaos runs (see
+    /// [`ConservationLedger::assert_clean`]).
+    pub fn conservation_ledger(&self) -> ConservationLedger {
+        let channel = self
+            .fault
+            .as_ref()
+            .map(|f| *f.counters())
+            .unwrap_or_default();
+        let q = self.queue.stats();
+        ConservationLedger {
+            sent: self.audit_sent,
+            lost_in_transit: channel.requests_lost,
+            browned_out: channel.requests_browned_out,
+            orphaned: self
+                .crash
+                .as_ref()
+                .map_or(0, |c| c.orphaned_drained + c.refused_down),
+            admission_rejected: self.admission.as_ref().map_or(0, |a| a.stats().rejected),
+            dropped_full: q.dropped_full,
+            evicted: q.evicted_requests,
+            served: q.served_requests,
+            in_flight_at_end: self.queue.pending_requests(),
+            peak_queue_depth: self.peak_queue_depth,
+            queue_capacity: self.queue.capacity() as u64,
+            time_regressions: self.time_regressions,
+        }
+    }
+
+    /// Re-point the channel loss rates mid-run (chaos-phase transitions).
+    /// A no-op when no channel-fault layer was built — the chaos driver
+    /// sizes the build config to the schedule's maximum loss so the layer
+    /// exists whenever any phase needs it.
+    pub fn set_channel_loss(&mut self, broadcast_loss: f64, request_loss: f64) {
+        if let Some(f) = &mut self.fault {
+            f.set_channel_loss(broadcast_loss, request_loss);
+        }
+    }
+
+    /// Re-point the brownout window mid-run (chaos-phase transitions). A
+    /// no-op without a channel-fault layer, for the same reason as
+    /// [`set_channel_loss`](World::set_channel_loss).
+    pub fn set_brownout(&mut self, period: f64, duration: f64) {
+        if let Some(f) = &mut self.fault {
+            f.set_brownout(period, duration);
+        }
     }
 
     /// Everything the observability layer collected, or `None` when it is
@@ -722,8 +981,30 @@ impl World {
     }
 
     /// One MC access finished (hit or delivered miss) with this response
-    /// time; advance the phase machine.
-    fn complete_mc_access(&mut self, response: f64) {
+    /// time; advance the phase machine. When the crash domain is live the
+    /// response also feeds the recovery detector's EWMA.
+    fn complete_mc_access(&mut self, now: Time, response: f64) {
+        let recovered = match &mut self.crash {
+            Some(c) => {
+                let level = c.resp_ewma.record(response);
+                if c.recovering && level <= c.pre_crash_level * (1.0 + c.cfg.recovery_epsilon) {
+                    c.recovering = false;
+                    c.recoveries += 1;
+                    let ttr = now - c.restart_at;
+                    c.ttr_sum += ttr;
+                    if ttr > c.ttr_max {
+                        c.ttr_max = ttr;
+                    }
+                    Some(ttr)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        if let (Some(obs), Some(ttr)) = (&mut self.obs, recovered) {
+            obs.trace(now, "recovered", ttr);
+        }
         match self.phase {
             Phase::CacheWarmup => {
                 self.warmup_accesses += 1;
@@ -774,16 +1055,104 @@ impl World {
         self.queue_stats_at_measure = Some(*self.queue.stats());
     }
 
-    /// Send one backchannel request at time `now`: through the fault layer
-    /// when channel faults are configured, straight into the queue
-    /// otherwise.
-    fn submit_request(&mut self, now: Time, page: PageId) {
-        match &mut self.fault {
-            Some(f) => {
-                f.deliver(&mut self.queue, now, page);
+    /// Send one backchannel request at time `now` through every configured
+    /// layer, in fixed order: transit coin → crashed-server refusal →
+    /// brownout → admission bucket → the bounded, coalescing queue.
+    ///
+    /// The transit coin comes first so the `FAULT_REQ` stream position
+    /// depends only on the send count, never on server-side state; the
+    /// remaining layers draw no randomness at all. With no crash domain
+    /// configured this is exactly the pre-crash delivery path.
+    fn submit_request(&mut self, now: Time, page: PageId) -> SendOutcome {
+        self.audit_sent += 1;
+        if let Some(f) = &mut self.fault {
+            if f.transit_lost() {
+                return SendOutcome::Silent;
             }
-            None => {
-                self.queue.submit_at(page, now);
+        }
+        if let Some(c) = &mut self.crash {
+            if c.down {
+                c.refused_down += 1;
+                return SendOutcome::Refused;
+            }
+        }
+        if let Some(f) = &mut self.fault {
+            if f.brownout_discard(now) {
+                return SendOutcome::Silent;
+            }
+        }
+        if let Some(a) = &mut self.admission {
+            if !a.admit(now) {
+                return SendOutcome::RetryAfter(a.retry_after());
+            }
+        }
+        self.queue.submit_at(page, now);
+        SendOutcome::Silent
+    }
+
+    /// Detect restart and crash edges at a slot boundary (crash domain
+    /// only; callers gate on `self.crash.is_some()`).
+    fn crash_edges(&mut self, now: Time) {
+        // Restart edge first: the downtime elapsed, the server comes back
+        // cold. (A crash can then strike again at this very boundary.)
+        let restarted = match &mut self.crash {
+            Some(c) if c.down && now >= c.down_until => {
+                c.down = false;
+                c.recovering = true;
+                c.restart_at = now;
+                c.schedule_next(now);
+                true
+            }
+            _ => false,
+        };
+        if restarted {
+            if let Some(a) = &mut self.admission {
+                a.restart_cold(now);
+            }
+            if let Some(obs) = &mut self.obs {
+                obs.trace(now, "restart", 0.0);
+            }
+        }
+        let crashed = match &mut self.crash {
+            Some(c) if !c.down && now >= c.next_crash_at => {
+                c.down = true;
+                c.down_until = now + c.cfg.downtime;
+                c.crashes += 1;
+                if c.first_crash_at.is_none() {
+                    c.first_crash_at = Some(now);
+                }
+                // A crash mid-recovery abandons that recovery: it never
+                // counts as recovered.
+                c.recovering = false;
+                c.pre_crash_level = c.resp_ewma.value();
+                true
+            }
+            _ => false,
+        };
+        if crashed {
+            // Volatile server state dies: the queue's pending requests are
+            // orphaned, the saturation EWMA and the adaptive controller's
+            // learning are gone. Run-level counters survive — they belong
+            // to the measurement, not to server memory.
+            let orphans = self.queue.crash_drain();
+            if let Some(c) = &mut self.crash {
+                c.orphaned_drained += orphans;
+            }
+            if let Some(sat) = &mut self.saturation {
+                sat.crash_reset();
+            }
+            if let Some(ctrl) = &mut self.adaptive {
+                let (bw, thres) = ctrl.crash_reset(self.queue.stats());
+                self.mux.set_pull_bw(bw);
+                self.base_pull_bw = bw;
+                if self.program.major_cycle() > 0 {
+                    let f = ThresholdFilter::from_percentage(thres, self.program.major_cycle());
+                    self.mc.set_threshold(f);
+                    self.vc_threshold = f;
+                }
+            }
+            if let Some(obs) = &mut self.obs {
+                obs.trace(now, "crash", orphans as f64);
             }
         }
     }
@@ -842,16 +1211,67 @@ impl Model for World {
     }
 
     fn handle(&mut self, now: Time, event: Event, sched: &mut Scheduler<Event>) {
+        // Monotone-time audit: the scheduler contract is non-decreasing
+        // dispatch times; count (don't mask) any violation.
+        if now < self.last_event_time {
+            self.time_regressions += 1;
+        } else {
+            self.last_event_time = now;
+        }
         match event {
             Event::Slot => {
                 if now >= self.protocol.max_sim_time {
                     self.done = true;
                     return;
                 }
+                let depth = self.queue.len() as u64;
+                if depth > self.peak_queue_depth {
+                    self.peak_queue_depth = depth;
+                }
+                if self.crash.is_some() {
+                    self.crash_edges(now);
+                }
                 if let Some(obs) = &mut self.obs {
                     obs.on_slot(now, self.queue.len());
                     if let Some(fleet) = &self.fleet {
                         obs.on_slot_fleet(now, fleet.stats().hit_rate());
+                    }
+                    obs.on_slot_mc_hit_rate(now, self.mc.stats().hit_rate());
+                    if let Some(c) = &self.crash {
+                        let state = if c.down {
+                            1.0
+                        } else if c.recovering {
+                            2.0
+                        } else {
+                            0.0
+                        };
+                        obs.on_slot_fault_state(now, state);
+                    }
+                }
+                // A dead server broadcasts nothing and serves no pulls; the
+                // clients' own processes (VC arrivals, update stream, retry
+                // timers already in flight) keep running against it.
+                let down = match &mut self.crash {
+                    Some(c) if c.down => {
+                        c.down_slots += 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if down {
+                    self.drain_vc(now + 1.0);
+                    if let Some(up) = &mut self.updates {
+                        up.drain(now + 1.0, &mut self.mc);
+                    }
+                    sched.schedule_at(now + 1.0, Event::Slot);
+                    return;
+                }
+                if let Some(c) = &mut self.crash {
+                    if c.recovering {
+                        let herd = self.queue.pending_requests();
+                        if herd > c.herd_peak_depth {
+                            c.herd_peak_depth = herd;
+                        }
                     }
                 }
                 if let Some(sat) = &mut self.saturation {
@@ -913,7 +1333,7 @@ impl Model for World {
                     if !lost {
                         // The page completes transmission at now + 1.
                         if let Some(resp) = self.mc.on_broadcast(now + 1.0, p) {
-                            self.complete_mc_access(resp);
+                            self.complete_mc_access(now + 1.0, resp);
                             let think = self.mc.draw_think(&mut self.rng_mc);
                             sched.schedule_at(now + 1.0 + think, Event::McWake);
                         } else if self.prefetch {
@@ -954,7 +1374,7 @@ impl Model for World {
                     .begin_access(now, &self.program, self.cursor, &mut self.rng_mc)
                 {
                     BeginOutcome::Hit { .. } => {
-                        self.complete_mc_access(0.0);
+                        self.complete_mc_access(now, 0.0);
                         let think = self.mc.draw_think(&mut self.rng_mc);
                         sched.schedule_in(think, Event::McWake);
                     }
@@ -963,13 +1383,19 @@ impl Model for World {
                         // access, whether or not this one sends a request.
                         self.retry_gen += 1;
                         if self.has_backchannel && send_request {
-                            self.submit_request(now, page);
+                            let outcome = self.submit_request(now, page);
                             if self.retry.enabled() {
                                 self.retry_state = RetryState::arm();
                                 if let Some(d) = self
                                     .retry_state
                                     .next_delay(&self.retry, &mut self.rng_retry)
                                 {
+                                    let d = reconnect_delay(
+                                        d,
+                                        outcome,
+                                        self.reconnect_jitter,
+                                        &mut self.rng_retry,
+                                    );
                                     sched.schedule_at(
                                         now + d,
                                         Event::McRetry {
@@ -999,7 +1425,13 @@ impl Model for World {
                         if let Some(obs) = &mut self.obs {
                             obs.trace(now, "retry_resend", delay);
                         }
-                        self.submit_request(now, page);
+                        let outcome = self.submit_request(now, page);
+                        let delay = reconnect_delay(
+                            delay,
+                            outcome,
+                            self.reconnect_jitter,
+                            &mut self.rng_retry,
+                        );
                         sched.schedule_at(now + delay, Event::McRetry { gen });
                     }
                     None => {
@@ -1027,7 +1459,7 @@ impl Model for World {
                         if send_request {
                             // Fleet requests ride the same lossy
                             // backchannel as the MC's and VC's.
-                            self.submit_request(now, page);
+                            let outcome = self.submit_request(now, page);
                             if self.retry.enabled() {
                                 let armed = match &mut self.fleet {
                                     Some(fleet) => {
@@ -1043,6 +1475,12 @@ impl Model for World {
                                     None => None,
                                 };
                                 if let Some((gen, d)) = armed {
+                                    let d = reconnect_delay(
+                                        d,
+                                        outcome,
+                                        self.reconnect_jitter,
+                                        &mut self.rng_fleet,
+                                    );
                                     sched.schedule_at(now + d, Event::FleetRetry { client, gen });
                                 }
                             }
@@ -1077,7 +1515,9 @@ impl Model for World {
                     None => return,
                 };
                 if let Some((page, delay)) = resend {
-                    self.submit_request(now, page);
+                    let outcome = self.submit_request(now, page);
+                    let delay =
+                        reconnect_delay(delay, outcome, self.reconnect_jitter, &mut self.rng_fleet);
                     sched.schedule_at(now + delay, Event::FleetRetry { client, gen });
                 }
             }

@@ -33,7 +33,13 @@ use crate::graph::{Analysis, Workspace};
 use crate::lexer::TokenKind;
 
 /// Structs whose fields must also appear in DESIGN.md's config table.
-pub const DESIGN_STRUCTS: [&str; 3] = ["SystemConfig", "FaultConfig", "ClientPopulation"];
+pub const DESIGN_STRUCTS: [&str; 5] = [
+    "SystemConfig",
+    "FaultConfig",
+    "ClientPopulation",
+    "CrashConfig",
+    "AdmissionConfig",
+];
 
 /// Entry point: run the surface check over every file.
 pub fn d8_config_surface(ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {

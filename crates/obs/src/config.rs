@@ -1,6 +1,6 @@
 //! Observability configuration block.
 
-use bpp_json::{field, FromJson, Json, JsonError, ToJson};
+use bpp_json::{field, opt_field, FromJson, Json, JsonError, ToJson};
 
 /// Knobs for the observability layer. Disabled by default so that every
 /// committed golden stays byte-identical; when `enabled` is false no
@@ -13,6 +13,11 @@ pub struct ObsConfig {
     pub timeline_stride: f64,
     /// Maximum number of structured trace events retained.
     pub trace_capacity: u64,
+    /// Record the Measured Client's cumulative cache hit rate as a
+    /// per-slot timeline (`client.mc.hit_rate`). Off by default; the JSON
+    /// key is omitted entirely while false so older configs and goldens
+    /// stay byte-identical.
+    pub mc_hit_rate: bool,
 }
 
 impl Default for ObsConfig {
@@ -21,6 +26,7 @@ impl Default for ObsConfig {
             enabled: false,
             timeline_stride: 100.0,
             trace_capacity: 256,
+            mc_hit_rate: false,
         }
     }
 }
@@ -36,6 +42,8 @@ impl ObsConfig {
             enabled: _,
             timeline_stride,
             trace_capacity,
+            // A boolean toggle: no value of mc_hit_rate is inconsistent.
+            mc_hit_rate: _,
         } = *self;
         if !(timeline_stride.is_finite() && timeline_stride > 0.0) {
             return Err(format!(
@@ -53,11 +61,17 @@ impl ObsConfig {
 
 impl ToJson for ObsConfig {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut obj = Json::object([
             ("enabled", self.enabled.to_json()),
             ("timeline_stride", self.timeline_stride.to_json()),
             ("trace_capacity", self.trace_capacity.to_json()),
-        ])
+        ]);
+        if self.mc_hit_rate {
+            if let Json::Obj(members) = &mut obj {
+                members.push(("mc_hit_rate".to_string(), self.mc_hit_rate.to_json()));
+            }
+        }
+        obj
     }
 }
 
@@ -67,6 +81,7 @@ impl FromJson for ObsConfig {
             enabled: field(v, "enabled")?,
             timeline_stride: field(v, "timeline_stride")?,
             trace_capacity: field(v, "trace_capacity")?,
+            mc_hit_rate: opt_field(v, "mc_hit_rate")?.unwrap_or_default(),
         })
     }
 }
@@ -88,8 +103,22 @@ mod tests {
             enabled: true,
             timeline_stride: 50.0,
             trace_capacity: 32,
+            mc_hit_rate: true,
         };
         let text = bpp_json::to_string(&cfg);
+        assert!(text.contains("mc_hit_rate"));
+        let back: ObsConfig = bpp_json::from_str(&text).expect("round trip"); // bpp-lint: allow(D3): test asserts parse success
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn disabled_mc_hit_rate_emits_no_key() {
+        let cfg = ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        };
+        let text = bpp_json::to_string(&cfg);
+        assert!(!text.contains("mc_hit_rate"));
         let back: ObsConfig = bpp_json::from_str(&text).expect("round trip"); // bpp-lint: allow(D3): test asserts parse success
         assert_eq!(back, cfg);
     }

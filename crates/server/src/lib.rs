@@ -19,10 +19,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod mux;
 pub mod queue;
 pub mod saturation;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionStats};
 pub use mux::{BandwidthMux, SlotDecision};
 pub use queue::{Discipline, OverflowPolicy, QueueStats, RequestQueue, SubmitOutcome};
 pub use saturation::{SaturationDetector, SaturationPolicy, SaturationStats};

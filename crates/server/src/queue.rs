@@ -84,6 +84,13 @@ pub struct QueueStats {
     pub dropped_evicted: u64,
     /// Entries served (broadcast in a pull slot).
     pub served: u64,
+    /// Individual requests served: every pop counts the entry's coalesced
+    /// waiters too (request grain, where `served` is entry grain). The
+    /// conservation auditor works at this grain.
+    pub served_requests: u64,
+    /// Individual requests evicted under `DropOldest` (riders included;
+    /// request-grain counterpart of `dropped_evicted`).
+    pub evicted_requests: u64,
 }
 
 impl QueueStats {
@@ -174,11 +181,12 @@ impl RequestQueue {
                 OverflowPolicy::DropOldest if !self.order.is_empty() => {
                     // bpp-lint: allow(D3): guarded by the at-capacity branch: a full queue has a front
                     let old = self.order.pop_front().expect("non-empty");
-                    self.pending.remove(&old);
+                    let riders = self.pending.remove(&old).unwrap_or(0);
                     if let Some(at) = &mut self.enqueue_at {
                         at.remove(&old);
                     }
                     self.stats.dropped_evicted += 1;
+                    self.stats.evicted_requests += u64::from(riders);
                 }
                 _ => {
                     self.stats.dropped_full += 1;
@@ -235,9 +243,30 @@ impl RequestQueue {
                 self.order.remove(idx).expect("index valid")
             }
         };
-        self.pending.remove(&page);
+        let riders = self.pending.remove(&page).unwrap_or(0);
         self.stats.served += 1;
+        self.stats.served_requests += u64::from(riders);
         Some(page)
+    }
+
+    /// Individual requests currently waiting, coalesced riders included
+    /// (the `in_flight` term of the conservation ledger).
+    pub fn pending_requests(&self) -> u64 {
+        self.order.iter().map(|p| u64::from(self.pending[p])).sum()
+    }
+
+    /// Server crash: volatile state is lost. Discards every queued entry
+    /// and returns the number of individual requests orphaned (riders
+    /// included). The statistics survive — they are the *run's* ledger,
+    /// not server memory.
+    pub fn crash_drain(&mut self) -> u64 {
+        let orphaned = self.pending_requests();
+        self.order.clear();
+        self.pending.clear();
+        if let Some(at) = &mut self.enqueue_at {
+            at.clear();
+        }
+        orphaned
     }
 
     /// True when a request for `page` is pending.
@@ -451,6 +480,45 @@ mod tests {
         q.pop_wait(6.0);
         q.submit_at(p(1), 6.0);
         assert_eq!(q.pop_wait(8.0), Some((p(1), Some(2.0))));
+    }
+
+    #[test]
+    fn request_grain_counters_include_coalesced_riders() {
+        let mut q = RequestQueue::new(5);
+        q.submit(p(1));
+        q.submit(p(1));
+        q.submit(p(2));
+        assert_eq!(q.pending_requests(), 3);
+        q.pop();
+        assert_eq!(q.stats().served_requests, 2);
+        assert_eq!(q.pending_requests(), 1);
+    }
+
+    #[test]
+    fn crash_drain_orphans_every_pending_request() {
+        let mut q = RequestQueue::new(5);
+        q.track_waits();
+        q.submit_at(p(1), 0.0);
+        q.submit_at(p(1), 1.0);
+        q.submit_at(p(2), 2.0);
+        assert_eq!(q.crash_drain(), 3);
+        assert!(q.is_empty());
+        assert!(!q.is_pending(p(1)));
+        // Counters survive the crash; the queue is usable again.
+        assert_eq!(q.stats().received, 3);
+        assert_eq!(q.submit_at(p(1), 3.0), SubmitOutcome::Enqueued);
+        assert_eq!(q.pop_wait(5.0), Some((p(1), Some(2.0))));
+    }
+
+    #[test]
+    fn drop_oldest_eviction_counts_riders() {
+        let mut q = RequestQueue::new(1);
+        q.set_overflow(OverflowPolicy::DropOldest);
+        q.submit(p(1));
+        q.submit(p(1));
+        q.submit(p(2));
+        assert_eq!(q.stats().dropped_evicted, 1);
+        assert_eq!(q.stats().evicted_requests, 2);
     }
 
     #[test]

@@ -191,6 +191,14 @@ impl SaturationDetector {
         }
     }
 
+    /// Server crash: the smoothed occupancy signal and the saturated flag
+    /// are volatile state and do not survive a restart. The history
+    /// counters do — they belong to the run's ledger, not server memory.
+    pub fn crash_reset(&mut self) {
+        self.occupancy = Ewma::new(self.policy.smoothing);
+        self.saturated = false;
+    }
+
     /// Whether the server is currently shedding pull bandwidth.
     pub fn is_saturated(&self) -> bool {
         self.saturated
@@ -270,6 +278,19 @@ mod tests {
             assert_eq!(d.observe(0, 0), 1.0);
         }
         assert_eq!(d.stats().degradations, 0);
+    }
+
+    #[test]
+    fn crash_reset_clears_signal_but_keeps_history() {
+        let mut d = SaturationDetector::new(quick_policy());
+        d.observe(9, 10);
+        assert!(d.is_saturated());
+        d.crash_reset();
+        assert!(!d.is_saturated());
+        assert_eq!(d.occupancy(), 0.0, "EWMA is volatile state");
+        assert_eq!(d.stats().degradations, 1, "ledger survives the crash");
+        // A cold detector re-degrades only under fresh pressure.
+        assert_eq!(d.observe(2, 10), 1.0);
     }
 
     #[test]

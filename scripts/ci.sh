@@ -52,6 +52,13 @@ cargo fmt --check
 ./target/release/fleet --smoke | cmp - results/fleet_smoke.json \
     || { echo "ci: fleet smoke report diverged from results/fleet_smoke.json" >&2; exit 1; }
 
+# Chaos regression: a fixed-seed phased fault timeline (loss + crash +
+# brownout) must reproduce the committed ChaosResult bit for bit. The run
+# itself hard-fails on any request-conservation violation, so this line is
+# also the auditor's place in the gate.
+./target/release/chaos --smoke | cmp - results/chaos_smoke.json \
+    || { echo "ci: chaos smoke report diverged from results/chaos_smoke.json" >&2; exit 1; }
+
 # Micro-benchmarks are opt-in (BPP_BENCH=1): wall-clock noise has no place
 # in the default gate, but the engine/obs hot paths can be tracked on
 # demand. `cargo bench` runs from the package root, so the BENCH_*.json

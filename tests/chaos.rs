@@ -1,0 +1,187 @@
+//! Crash–recovery and chaos-harness integration tests: the acceptance
+//! criteria of the crash-domain PR.
+//!
+//! * a disabled crash domain is *invisible* — no `crash` or `admission`
+//!   JSON members anywhere, results byte-identical run to run;
+//! * a 10⁴-client restart herd recovers even when the admission layer is
+//!   bouncing most of the reconnect burst — rejections feed retry-after
+//!   backoff instead of losing requests;
+//! * the MTBF-exponential crash schedule is a deterministic function of
+//!   the seed (its own RNG stream), and moves when the seed moves;
+//! * the conservation auditor actually bites: a tampered ledger reports
+//!   violations and `assert_clean` panics.
+
+use bpp_client::RetryPolicy;
+use bpp_core::{
+    run_chaos, run_steady_state, AdmissionConfig, Algorithm, ClientPopulation, CrashConfig,
+    FaultConfig, FaultPhase, FaultSchedule, MeasurementProtocol, SystemConfig,
+};
+use bpp_json::ToJson;
+
+fn ipp_small() -> SystemConfig {
+    let mut c = SystemConfig::small();
+    c.algorithm = Algorithm::Ipp;
+    c.pull_bw = 0.5;
+    c.thres_perc = 0.0;
+    c.steady_state_perc = 0.95;
+    c
+}
+
+#[test]
+fn crash_disabled_runs_are_byte_identical_and_crash_invisible() {
+    // The fault model is on (so a FaultReport is emitted) but the crash
+    // domain and admission layer are not: neither may leave a trace.
+    let mut cfg = ipp_small();
+    cfg.fault = FaultConfig::lossy(0.05);
+    assert!(!cfg.fault.crash.enabled());
+    assert!(!cfg.fault.admission.enabled());
+    let proto = MeasurementProtocol::quick();
+    let a = run_steady_state(&cfg, &proto);
+    let f = a.fault.expect("fault model enabled");
+    assert!(f.crash.is_none());
+    let text = bpp_json::to_string(&a.to_json());
+    assert!(
+        !text.contains("\"crash\"") && !text.contains("\"admission\""),
+        "disabled crash domain must not appear in serialized results"
+    );
+    let cfg_text = bpp_json::to_string(&cfg.to_json());
+    assert!(!cfg_text.contains("\"crash\"") && !cfg_text.contains("\"admission\""));
+    // Byte-identity: same config, same serialization — the crash plumbing
+    // (audit counters, outcome enums) costs nothing when disabled.
+    let b = run_steady_state(&cfg, &proto);
+    assert_eq!(text, bpp_json::to_string(&b.to_json()));
+}
+
+#[test]
+fn restart_herd_of_ten_thousand_recovers_under_heavy_rejection() {
+    let mut cfg = ipp_small();
+    cfg.think_time_ratio = 25.0;
+    cfg.server_queue_size = 1_000;
+    cfg.population = ClientPopulation::fleet(10_000);
+    cfg.fault.retry = RetryPolicy {
+        max_retries: 6,
+        base_timeout: 8.0,
+        backoff_factor: 2.0,
+        max_backoff: 64.0,
+        jitter: 0.0,
+    };
+    cfg.fault.crash = CrashConfig {
+        mtbf: 0.0,
+        downtime: 100.0,
+        schedule: vec![5_000.0],
+        reconnect_jitter: 0.5,
+        recovery_epsilon: 0.5,
+    };
+    // A bucket far below the fleet's reconnect burst: most of the herd is
+    // bounced with a retry-after hint at restart.
+    cfg.fault.admission = AdmissionConfig {
+        rate: 2.0,
+        burst: 2.0,
+        retry_after: 32.0,
+    };
+    cfg.seed = 4242;
+    let mut proto = MeasurementProtocol::quick();
+    proto.max_accesses = 2_000;
+    proto.skip_accesses = 100;
+    let r = run_steady_state(&cfg, &proto);
+    assert!(r.error.is_none());
+    let c = r
+        .fault
+        .as_ref()
+        .and_then(|f| f.crash)
+        .expect("crash section present");
+    assert_eq!(c.crashes, 1);
+    assert_eq!(c.first_crash_at, Some(5_000.0));
+    assert!(c.down_slots > 0);
+    assert!(
+        c.admission_rejected > 0,
+        "the bucket must actually bounce part of the herd"
+    );
+    assert!(c.herd_peak_depth > 0);
+    assert!(
+        c.recoveries >= 1,
+        "the fleet must re-converge despite heavy rejection \
+         (rejected {} of {} admitted)",
+        c.admission_rejected,
+        c.admitted
+    );
+    assert!(r.mean_response.is_finite() && r.mean_response > 0.0);
+}
+
+#[test]
+fn exponential_crash_schedule_is_a_function_of_the_seed() {
+    let mut cfg = ipp_small();
+    cfg.think_time_ratio = 1.0;
+    cfg.fault.crash = CrashConfig {
+        mtbf: 2_000.0,
+        downtime: 50.0,
+        schedule: vec![],
+        reconnect_jitter: 0.0,
+        recovery_epsilon: 0.5,
+    };
+    cfg.seed = 7;
+    let proto = MeasurementProtocol::quick();
+    let a = run_steady_state(&cfg, &proto);
+    let b = run_steady_state(&cfg, &proto);
+    assert_eq!(
+        bpp_json::to_string(&a.to_json()),
+        bpp_json::to_string(&b.to_json()),
+        "same seed, same exponential crash times, same bytes"
+    );
+    let ca = a.fault.as_ref().and_then(|f| f.crash).expect("crash on");
+    assert!(ca.crashes >= 1, "MTBF 2000 must strike within the run");
+
+    let mut other = cfg.clone();
+    other.seed = 8;
+    let c = run_steady_state(&other, &proto);
+    let cc = c.fault.as_ref().and_then(|f| f.crash).expect("crash on");
+    assert!(cc.crashes >= 1);
+    assert_ne!(
+        ca.first_crash_at, cc.first_crash_at,
+        "a different seed must draw a different crash time"
+    );
+}
+
+#[test]
+fn a_tampered_ledger_fails_the_audit() {
+    let mut cfg = ipp_small();
+    cfg.fault.crash.downtime = 20.0;
+    cfg.seed = 11;
+    let schedule = FaultSchedule {
+        phases: vec![
+            FaultPhase::calm(500.0),
+            FaultPhase {
+                duration: 500.0,
+                request_loss: 0.1,
+                crash_offset: Some(100.0),
+                ..FaultPhase::calm(500.0)
+            },
+        ],
+    };
+    // run_chaos audits internally; reaching here means the real ledger is
+    // clean.
+    let r = run_chaos(&cfg, &MeasurementProtocol::quick(), &schedule);
+    assert!(r.ledger.violations().is_empty());
+    assert_eq!(r.ledger.sent, r.ledger.accounted());
+
+    // Seeded mutations: each invariant must trip on its own.
+    let mut lost = r.ledger;
+    lost.served += 1;
+    let v = lost.violations();
+    assert!(v
+        .iter()
+        .any(|m| m.contains("request conservation violated")));
+
+    let mut deep = r.ledger;
+    deep.peak_queue_depth = deep.queue_capacity + 1;
+    let v = deep.violations();
+    assert!(v.iter().any(|m| m.contains("queue bound violated")));
+
+    let mut warped = r.ledger;
+    warped.time_regressions = 1;
+    let v = warped.violations();
+    assert!(v.iter().any(|m| m.contains("monotone time violated")));
+
+    let result = std::panic::catch_unwind(move || lost.assert_clean());
+    assert!(result.is_err(), "assert_clean must panic on a dirty ledger");
+}

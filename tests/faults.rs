@@ -67,7 +67,7 @@ fn full_backchannel_loss_falls_back_to_broadcast() {
     assert!(r.error.is_none());
     let f = r.fault.expect("fault model enabled");
     // Every sent request was lost in transit; none reached the queue.
-    assert!(f.requests_lost > 0);
+    assert!(f.channel.requests_lost > 0);
     assert_eq!(r.requests_received, 0);
     // The client retried, ran out of budget, and fell back to waiting for
     // the push schedule — which bounds the response time.
@@ -93,7 +93,7 @@ fn acceptance_ten_percent_loss_at_ttr_one() {
         "bounded mean response under 10% loss at TTR=1"
     );
     let f = r.fault.expect("fault model enabled");
-    assert!(f.pages_lost > 0, "frontchannel loss engaged: {f:?}");
+    assert!(f.channel.pages_lost > 0, "frontchannel loss engaged: {f:?}");
     assert!(
         f.retries + f.requests_denied() > 0,
         "nonzero retry/drop accounting: {f:?}"
@@ -145,6 +145,6 @@ fn brownout_windows_discard_requests() {
     let r = run_steady_state(&cfg, &MeasurementProtocol::quick());
     assert!(r.error.is_none());
     let f = r.fault.expect("fault model enabled");
-    assert!(f.requests_browned_out > 0, "report: {f:?}");
+    assert!(f.channel.requests_browned_out > 0, "report: {f:?}");
     assert!(r.mean_response.is_finite() && r.mean_response > 0.0);
 }
