@@ -100,6 +100,7 @@ pub struct AdaptiveController {
     thres: f64,
     initial_pull_bw: f64,
     initial_thres: f64,
+    // bpp-lint: allow(D13): run-history count — deliberately survives a crash
     adjustments: u64,
 }
 

@@ -1,0 +1,24 @@
+//! D11 fixtures: unit errors the token-level D9 check provably misses —
+//! the class flows through a binding, a call boundary, and a return.
+
+/// The alias launders the suffix: `w` carries broadcast units invisibly.
+pub fn cross_statement(wait_bu: f64, retry_count: f64) -> f64 {
+    let w = wait_bu;
+    // D11: adding a count to a duration through the alias.
+    w + retry_count
+}
+
+/// Callee declaring a unit-suffixed parameter.
+pub fn pace(delay_bu: f64) -> f64 {
+    delay_bu
+}
+
+/// D11: passes a count where the callee declares broadcast units.
+pub fn schedule(retry_count: f64) -> f64 {
+    pace(retry_count)
+}
+
+/// D11: the name promises broadcast units; the body returns a count.
+pub fn backoff_bu(attempts_count: f64) -> f64 {
+    attempts_count
+}

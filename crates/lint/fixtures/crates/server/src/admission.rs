@@ -1,0 +1,26 @@
+//! D13 fixtures: cold-restart reset coverage.
+
+/// Token bucket with volatile state.
+pub struct Gate {
+    /// Tokens remaining.
+    tokens: f64,
+    /// Requests admitted since the run started.
+    admitted: u64,
+    /// Pending retry queue.
+    backlog: Vec<u64>,
+}
+
+impl Gate {
+    /// Hot path: spends a token, counts the admission, queues the id.
+    pub fn admit(&mut self, id: u64) {
+        self.tokens = self.tokens - 1.0;
+        self.admitted = self.admitted + 1;
+        self.backlog.push(id);
+    }
+
+    /// D13 twice over: restores `tokens` but forgets `admitted` and
+    /// `backlog`.
+    pub fn restart_cold(&mut self) {
+        self.tokens = 0.0;
+    }
+}

@@ -1,0 +1,47 @@
+//! D12 fixtures: request-terminating paths versus ledger buckets.
+
+/// What submitting a request produced.
+pub enum SubmitOutcome {
+    /// The request joined the queue.
+    Enqueued,
+    /// The queue was full; the request is gone.
+    DroppedFull,
+}
+
+/// Carrier for the ledger counters the paths must touch.
+pub struct Queue {
+    /// Requests that joined the queue.
+    enqueued: u64,
+    /// Requests dropped because the queue was full.
+    dropped_full: u64,
+    /// Requests evicted to make room.
+    evicted_requests: u64,
+}
+
+impl Queue {
+    /// D12: the overflow path drops the request without counting it.
+    pub fn submit_leaky(&mut self, full: bool) -> SubmitOutcome {
+        if full {
+            return SubmitOutcome::DroppedFull;
+        }
+        self.enqueued += 1;
+        SubmitOutcome::Enqueued
+    }
+
+    /// Clean twin: every terminating path increments its bucket.
+    pub fn submit_sound(&mut self, full: bool) -> SubmitOutcome {
+        if full {
+            self.dropped_full += 1;
+            return SubmitOutcome::DroppedFull;
+        }
+        self.enqueued += 1;
+        SubmitOutcome::Enqueued
+    }
+
+    /// D12: the eviction path double-counts the terminating request.
+    pub fn submit_double(&mut self) -> SubmitOutcome {
+        self.evicted_requests += 1;
+        self.dropped_full += 1;
+        SubmitOutcome::DroppedFull
+    }
+}

@@ -1,0 +1,454 @@
+//! Per-function control-flow graphs over the expression IR.
+//!
+//! The dataflow rules need path-sensitive facts ("did *this* path to the
+//! return increment a ledger bucket?"), so statement-level control flow
+//! — `if`/`match`/`while`/`loop`/`for`, `return`/`break`/`continue` —
+//! is lowered into basic blocks with explicit successor edges. Control
+//! flow *nested inside* an expression (an `if` in an argument position)
+//! stays inside its statement; the rules' transfer functions walk those
+//! sub-trees locally.
+//!
+//! Lowering normalizes value-producing control flow into straight-line
+//! statements the transfer functions can interpret uniformly:
+//!
+//! * `let x = if c { a } else { b };` becomes a per-branch synthetic
+//!   `let x = a;` / `let x = b;` (same for `match` inits);
+//! * pattern bindings (`if let`, match arms, `for` loops) become
+//!   synthetic init-less `let` statements at the head of their branch, so
+//!   shadowing resets a name's inferred state;
+//! * a function body's tail expression becomes a synthetic
+//!   `return <tail>;`, so every exit from the function is a `Return`
+//!   statement in some block.
+//!
+//! Every CFG has one `entry` and one synthetic `exit` block; `return`
+//! edges to `exit`, `break`/`continue` edge to the innermost loop's
+//! exit/head. Blocks after a diverging statement exist but are
+//! unreachable (no predecessors) — the dataflow driver simply never
+//! reaches them.
+
+use crate::expr::{ExprArena, ExprId, ExprKind};
+
+/// One basic block: straight-line statements plus successor block ids.
+#[derive(Debug, Clone, Default)]
+pub struct CfgBlock {
+    /// Statements in execution order (expression ids into the arena).
+    pub stmts: Vec<ExprId>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// A function body's control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All blocks; indices are stable ids.
+    pub blocks: Vec<CfgBlock>,
+    /// Index of the entry block.
+    pub entry: usize,
+    /// Index of the synthetic exit block (always empty).
+    pub exit: usize,
+}
+
+/// What to do with a block's tail value when lowering it.
+#[derive(Debug, Clone)]
+enum Sink {
+    /// Wrap the tail in a synthetic `Return` (function body).
+    Return,
+    /// Bind the tail to these names with a synthetic `Let`.
+    Bind(Vec<String>),
+    /// The value is discarded; the tail is an ordinary statement.
+    Drop,
+}
+
+/// Lower `body` (a `Block` expression) into a CFG. Synthetic nodes are
+/// allocated into `arena`.
+pub fn build_cfg(arena: &mut ExprArena, body: ExprId) -> Cfg {
+    let mut b = Builder {
+        arena,
+        blocks: vec![CfgBlock::default(), CfgBlock::default()],
+        exit: 1,
+        loops: Vec::new(),
+    };
+    let end = b.lower_stmt(0, body, Sink::Return);
+    b.edge(end, 1);
+    Cfg {
+        blocks: b.blocks,
+        entry: 0,
+        exit: 1,
+    }
+}
+
+struct Builder<'a> {
+    arena: &'a mut ExprArena,
+    blocks: Vec<CfgBlock>,
+    exit: usize,
+    /// Innermost-last stack of (continue-target, break-target).
+    loops: Vec<(usize, usize)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(CfgBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn push(&mut self, block: usize, stmt: ExprId) {
+        self.blocks[block].stmts.push(stmt);
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Synthesize an init-less `let` rebinding `names` (pattern binding).
+    fn rebind(&mut self, block: usize, names: &[String], line: u32, span: (usize, usize)) {
+        if names.is_empty() {
+            return;
+        }
+        let stmt = self.arena.alloc(
+            ExprKind::Let {
+                names: names.to_vec(),
+                init: None,
+                else_block: None,
+            },
+            line,
+            span,
+        );
+        self.push(block, stmt);
+    }
+
+    /// Lower the statements of `block_expr` into `cur`; returns the block
+    /// control continues in.
+    fn lower_block(&mut self, mut cur: usize, block_expr: ExprId, sink: Sink) -> usize {
+        let (stmts, tail) = match &self.arena.get(block_expr).kind {
+            ExprKind::Block { stmts, tail } => (stmts.clone(), *tail),
+            // Non-block bodies (malformed input): treat as a lone tail.
+            _ => (Vec::new(), Some(block_expr)),
+        };
+        for s in stmts {
+            cur = self.lower_stmt(cur, s, Sink::Drop);
+        }
+        match tail {
+            Some(t) => self.lower_stmt(cur, t, sink),
+            None => {
+                if let Sink::Bind(names) = &sink {
+                    let e = self.arena.get(block_expr);
+                    let (line, span) = (e.line, e.span);
+                    self.rebind(cur, &names.clone(), line, span);
+                }
+                cur
+            }
+        }
+    }
+
+    /// Lower one statement (or tail value) into `cur`; returns the block
+    /// control continues in.
+    fn lower_stmt(&mut self, cur: usize, stmt: ExprId, sink: Sink) -> usize {
+        let node = self.arena.get(stmt);
+        let (line, span) = (node.line, node.span);
+        let kind = node.kind.clone();
+        match kind {
+            ExprKind::Let {
+                names,
+                init: Some(init),
+                else_block,
+            } => {
+                if let Some(else_b) = else_block {
+                    // let-else: the binding happens here; the else block
+                    // diverges (it must return/break/continue or panic).
+                    self.push(cur, stmt);
+                    let eb = self.new_block();
+                    self.edge(cur, eb);
+                    let e_end = self.lower_block(eb, else_b, Sink::Drop);
+                    let exit = self.exit;
+                    self.edge(e_end, exit);
+                    return cur;
+                }
+                match self.arena.get(init).kind {
+                    ExprKind::If { .. } | ExprKind::Match { .. } | ExprKind::Block { .. } => {
+                        self.lower_stmt(cur, init, Sink::Bind(names))
+                    }
+                    _ => {
+                        self.push(cur, stmt);
+                        cur
+                    }
+                }
+            }
+            ExprKind::Let { init: None, .. } => {
+                self.push(cur, stmt);
+                cur
+            }
+            ExprKind::If {
+                cond,
+                bound,
+                then_blk,
+                else_blk,
+            } => {
+                self.push(cur, cond);
+                let join = self.new_block();
+                let then_b = self.new_block();
+                self.edge(cur, then_b);
+                self.rebind(then_b, &bound, line, span);
+                let t_end = self.lower_block(then_b, then_blk, sink.clone());
+                self.edge(t_end, join);
+                match else_blk {
+                    Some(e) => {
+                        let else_b = self.new_block();
+                        self.edge(cur, else_b);
+                        let e_end = self.lower_stmt(else_b, e, sink);
+                        self.edge(e_end, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.push(cur, scrutinee);
+                let join = self.new_block();
+                if arms.is_empty() {
+                    self.edge(cur, join);
+                }
+                for arm in arms {
+                    let arm_b = self.new_block();
+                    self.edge(cur, arm_b);
+                    self.rebind(arm_b, &arm.bound, line, span);
+                    let a_end = self.lower_stmt(arm_b, arm.body, sink.clone());
+                    self.edge(a_end, join);
+                }
+                join
+            }
+            ExprKind::While { cond, bound, body } => {
+                let head = self.new_block();
+                self.edge(cur, head);
+                self.push(head, cond);
+                let body_b = self.new_block();
+                let exit_b = self.new_block();
+                self.edge(head, body_b);
+                self.edge(head, exit_b);
+                self.rebind(body_b, &bound, line, span);
+                self.loops.push((head, exit_b));
+                let b_end = self.lower_block(body_b, body, Sink::Drop);
+                self.loops.pop();
+                self.edge(b_end, head);
+                if let Sink::Bind(names) = sink {
+                    self.rebind(exit_b, &names, line, span);
+                }
+                exit_b
+            }
+            ExprKind::Loop { body } => {
+                let head = self.new_block();
+                self.edge(cur, head);
+                let exit_b = self.new_block();
+                self.loops.push((head, exit_b));
+                let b_end = self.lower_block(head, body, Sink::Drop);
+                self.loops.pop();
+                self.edge(b_end, head);
+                if let Sink::Bind(names) = sink {
+                    self.rebind(exit_b, &names, line, span);
+                }
+                exit_b
+            }
+            ExprKind::For { bound, iter, body } => {
+                self.push(cur, iter);
+                let head = self.new_block();
+                self.edge(cur, head);
+                let body_b = self.new_block();
+                let exit_b = self.new_block();
+                self.edge(head, body_b);
+                self.edge(head, exit_b);
+                self.rebind(body_b, &bound, line, span);
+                self.loops.push((head, exit_b));
+                let b_end = self.lower_block(body_b, body, Sink::Drop);
+                self.loops.pop();
+                self.edge(b_end, head);
+                if let Sink::Bind(names) = sink {
+                    self.rebind(exit_b, &names, line, span);
+                }
+                exit_b
+            }
+            ExprKind::Return(_) => {
+                self.push(cur, stmt);
+                let exit = self.exit;
+                self.edge(cur, exit);
+                self.new_block() // unreachable continuation
+            }
+            ExprKind::Break(value) => {
+                if let Some(v) = value {
+                    self.push(cur, v);
+                }
+                let target = self.loops.last().map_or(self.exit, |&(_, brk)| brk);
+                self.edge(cur, target);
+                self.new_block()
+            }
+            ExprKind::Continue => {
+                let target = self.loops.last().map_or(self.exit, |&(head, _)| head);
+                self.edge(cur, target);
+                self.new_block()
+            }
+            ExprKind::Block { .. } => self.lower_block(cur, stmt, sink),
+            _ => match sink {
+                Sink::Return => {
+                    let ret = self.arena.alloc(ExprKind::Return(Some(stmt)), line, span);
+                    self.push(cur, ret);
+                    let exit = self.exit;
+                    self.edge(cur, exit);
+                    self.new_block()
+                }
+                Sink::Bind(names) => {
+                    let let_stmt = self.arena.alloc(
+                        ExprKind::Let {
+                            names,
+                            init: Some(stmt),
+                            else_block: None,
+                        },
+                        line,
+                        span,
+                    );
+                    self.push(cur, let_stmt);
+                    cur
+                }
+                Sink::Drop => {
+                    self.push(cur, stmt);
+                    cur
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_body;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+    use crate::rules::SourceFile;
+
+    fn cfg_of(src: &str) -> (ExprArena, Cfg) {
+        let f = SourceFile::new(
+            "crates/core/src/x.rs".to_string(),
+            lex(src).expect("test source must lex"),
+        );
+        let items = parse_file(&f);
+        let (lo, hi) = items.fns[0].body.expect("fn must have a body");
+        let mut arena = ExprArena::default();
+        let root = parse_body(&f, &mut arena, lo, hi);
+        let cfg = build_cfg(&mut arena, root);
+        (arena, cfg)
+    }
+
+    /// Blocks reachable from entry.
+    fn reachable(cfg: &Cfg) -> Vec<usize> {
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut work = vec![cfg.entry];
+        while let Some(b) = work.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            work.extend(cfg.blocks[b].succs.iter().copied());
+        }
+        (0..cfg.blocks.len()).filter(|&i| seen[i]).collect()
+    }
+
+    #[test]
+    fn straight_line_tail_becomes_return() {
+        let (arena, cfg) = cfg_of("fn f() -> u64 { let x = 1; x }");
+        // Entry holds the let plus a synthetic return, then edges to exit.
+        let entry = &cfg.blocks[cfg.entry];
+        assert_eq!(entry.stmts.len(), 2);
+        assert!(matches!(
+            arena.get(entry.stmts[1]).kind,
+            ExprKind::Return(Some(_))
+        ));
+        assert_eq!(entry.succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let (_, cfg) = cfg_of("fn f(c: bool) { if c { a(); } else { b(); } d(); }");
+        // entry → then/else → join; join reaches exit.
+        let entry = &cfg.blocks[cfg.entry];
+        assert_eq!(entry.succs.len(), 2);
+        let join: Vec<usize> = cfg.blocks[entry.succs[0]].succs.clone();
+        assert_eq!(join, cfg.blocks[entry.succs[1]].succs);
+        assert!(reachable(&cfg).contains(&cfg.exit));
+    }
+
+    #[test]
+    fn early_return_leaves_dead_continuation() {
+        let (arena, cfg) = cfg_of("fn f(c: bool) -> u64 { if c { return 1; } 2 }");
+        // The then-branch returns; its continuation block is unreachable
+        // but the join (holding the tail return of 2) is reachable.
+        let live = reachable(&cfg);
+        assert!(live.contains(&cfg.exit));
+        let returns: usize = live
+            .iter()
+            .flat_map(|&b| cfg.blocks[b].stmts.iter())
+            .filter(|&&s| matches!(arena.get(s).kind, ExprKind::Return(_)))
+            .count();
+        assert_eq!(returns, 2, "explicit return + synthetic tail return");
+    }
+
+    #[test]
+    fn let_if_init_binds_in_both_branches() {
+        let (arena, cfg) = cfg_of("fn f(c: bool) { let x = if c { 1 } else { 2 }; use_it(x); }");
+        // Each branch must contain a synthetic `let x = …`.
+        let lets: Vec<Vec<String>> = (0..cfg.blocks.len())
+            .flat_map(|b| cfg.blocks[b].stmts.iter())
+            .filter_map(|&s| match &arena.get(s).kind {
+                ExprKind::Let {
+                    names,
+                    init: Some(_),
+                    ..
+                } => Some(names.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lets.len(), 2);
+        assert!(lets.iter().all(|n| n == &["x".to_string()]));
+    }
+
+    #[test]
+    fn while_loop_back_edge_and_break() {
+        let (_, cfg) = cfg_of("fn f() { while go() { if stop() { break; } step(); } done(); }");
+        // Some block must edge back to the loop head (the cond block),
+        // and the break must edge to the loop's exit block.
+        let mut has_back_edge = false;
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                if s <= i && s != cfg.exit {
+                    has_back_edge = true;
+                }
+            }
+        }
+        assert!(has_back_edge, "loop must produce a back edge");
+        assert!(reachable(&cfg).contains(&cfg.exit));
+    }
+
+    #[test]
+    fn match_fans_out_and_rejoins() {
+        let (arena, cfg) =
+            cfg_of("fn f(x: O) -> u64 { match x { O::A(v) => v, O::B => 0, _ => 1 } }");
+        // Scrutinee block fans out to three arm blocks.
+        let fan = cfg.blocks.iter().map(|b| b.succs.len()).max().unwrap_or(0);
+        assert_eq!(fan, 3);
+        // Arm bodies become synthetic returns (fn tail position).
+        let returns: usize = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| b.stmts.iter())
+            .filter(|&&s| matches!(arena.get(s).kind, ExprKind::Return(Some(_))))
+            .count();
+        assert_eq!(returns, 3);
+        // The arm binding `v` is rebound in its arm block.
+        let rebinds: usize = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| b.stmts.iter())
+            .filter(|&&s| matches!(&arena.get(s).kind, ExprKind::Let { init: None, .. }))
+            .count();
+        assert_eq!(rebinds, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Generic forward abstract interpretation over a [`Cfg`].
+//!
+//! A rule supplies a lattice: an entry state, a transfer function over
+//! one statement, and a join. The driver runs the classic worklist
+//! algorithm to a fixpoint and hands back the **in-state of every
+//! reachable block**; the rule then makes a single deterministic
+//! reporting pass, re-running its transfer over each reachable block
+//! from its fixpoint in-state and emitting diagnostics as it goes.
+//!
+//! The worklist is a `BTreeSet` popped smallest-first, so evaluation
+//! order — and therefore any diagnostics collected during transfer — is
+//! a pure function of the CFG, never of hash order. A conservative
+//! iteration cap bounds non-monotone transfer functions: if a lattice
+//! fails to converge the driver stops joining and keeps the last states,
+//! which for the may/must analyses built on it only widens the answer
+//! (more "possible", less "definite") — diagnostics stay sound, and the
+//! lint always terminates.
+
+use crate::cfg::Cfg;
+use crate::expr::ExprId;
+use std::collections::BTreeSet;
+
+/// A forward dataflow analysis: state type, entry state, transfer, join.
+pub trait Lattice {
+    /// The abstract state attached to a program point.
+    type State: Clone + PartialEq;
+
+    /// State on entry to the function.
+    fn entry_state(&self) -> Self::State;
+
+    /// Advance `state` across one statement.
+    fn transfer(&mut self, state: &mut Self::State, stmt: ExprId);
+
+    /// Merge `other` into `into` at a join point.
+    fn join(&self, into: &mut Self::State, other: &Self::State);
+}
+
+/// Run `lattice` forward over `cfg`; returns the fixpoint in-state of
+/// each block (`None` for blocks unreachable from entry).
+pub fn forward<L: Lattice>(cfg: &Cfg, lattice: &mut L) -> Vec<Option<L::State>> {
+    let n = cfg.blocks.len();
+    let mut in_states: Vec<Option<L::State>> = vec![None; n];
+    in_states[cfg.entry] = Some(lattice.entry_state());
+    let mut work: BTreeSet<usize> = BTreeSet::new();
+    work.insert(cfg.entry);
+    // Monotone lattices converge long before this; the cap only guards
+    // against a buggy non-monotone transfer.
+    let mut budget = n.saturating_mul(64) + 64;
+    while let Some(&b) = work.iter().next() {
+        work.remove(&b);
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let Some(mut state) = in_states[b].clone() else {
+            continue;
+        };
+        for &stmt in &cfg.blocks[b].stmts {
+            lattice.transfer(&mut state, stmt);
+        }
+        for &succ in &cfg.blocks[b].succs {
+            match &mut in_states[succ] {
+                Some(existing) => {
+                    let before = existing.clone();
+                    lattice.join(existing, &state);
+                    if *existing != before {
+                        work.insert(succ);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(state.clone());
+                    work.insert(succ);
+                }
+            }
+        }
+    }
+    in_states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::expr::{parse_body, ExprArena, ExprKind};
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+    use crate::rules::SourceFile;
+
+    /// A toy must-analysis: the set of names definitely `let`-bound on
+    /// every path (intersection join).
+    struct DefiniteLets<'a> {
+        arena: &'a ExprArena,
+    }
+
+    impl<'a> Lattice for DefiniteLets<'a> {
+        type State = std::collections::BTreeSet<String>;
+
+        fn entry_state(&self) -> Self::State {
+            Default::default()
+        }
+
+        fn transfer(&mut self, state: &mut Self::State, stmt: ExprId) {
+            if let ExprKind::Let { names, .. } = &self.arena.get(stmt).kind {
+                state.extend(names.iter().cloned());
+            }
+        }
+
+        fn join(&self, into: &mut Self::State, other: &Self::State) {
+            into.retain(|n| other.contains(n));
+        }
+    }
+
+    fn run(src: &str) -> Vec<Option<std::collections::BTreeSet<String>>> {
+        let f = SourceFile::new(
+            "crates/core/src/x.rs".to_string(),
+            lex(src).expect("test source must lex"),
+        );
+        let items = parse_file(&f);
+        let (lo, hi) = items.fns[0].body.expect("fn must have a body");
+        let mut arena = ExprArena::default();
+        let root = parse_body(&f, &mut arena, lo, hi);
+        let cfg = build_cfg(&mut arena, root);
+        let mut lat = DefiniteLets { arena: &arena };
+        forward(&cfg, &mut lat)
+    }
+
+    #[test]
+    fn branch_local_lets_are_not_definite_at_join() {
+        let states = run("fn f(c: bool) { let a = 1; if c { let b = 2; use_it(b); } tail(a); }");
+        // Some reachable block (the join) must know `a` but not `b`.
+        let has_join = states
+            .iter()
+            .flatten()
+            .any(|s| s.contains("a") && !s.contains("b"));
+        assert!(has_join, "intersection join must drop branch-local lets");
+    }
+
+    #[test]
+    fn both_branch_lets_survive_join() {
+        let states = run("fn f(c: bool) { if c { let x = 1; } else { let x = 2; } tail(); }");
+        let join_knows_x = states.iter().flatten().any(|s| s.contains("x"));
+        assert!(join_knows_x, "a name bound in both branches is definite");
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint() {
+        // The back edge must not loop forever; the analysis terminates
+        // and the exit is reachable.
+        let states = run("fn f() { let mut i = 0; while go(i) { i += 1; } done(i); }");
+        assert!(states.iter().filter(|s| s.is_some()).count() >= 3);
+    }
+}

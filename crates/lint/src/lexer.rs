@@ -53,7 +53,8 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One lexed token: its class, exact source text, and 1-based start line.
+/// One lexed token: its class, exact source text, and 1-based start
+/// line/column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Lexical class.
@@ -62,6 +63,9 @@ pub struct Token {
     pub text: String,
     /// 1-based line on which the token starts.
     pub line: u32,
+    /// 1-based byte column at which the token starts on its line. Byte
+    /// columns (not display columns) so `--fix` can splice spans exactly.
+    pub col: u32,
 }
 
 /// A lexical error: something the grammar cannot place.
@@ -93,11 +97,13 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-/// Cursor over the source bytes with line tracking.
+/// Cursor over the source bytes with line/column tracking.
 struct Cursor<'a> {
     src: &'a [u8],
     pos: usize,
     line: u32,
+    /// Byte offset of the start of the current line (column base).
+    line_start: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -106,6 +112,7 @@ impl<'a> Cursor<'a> {
             src: src.as_bytes(),
             pos: 0,
             line: 1,
+            line_start: 0,
         }
     }
 
@@ -118,8 +125,14 @@ impl<'a> Cursor<'a> {
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
+            self.line_start = self.pos;
         }
         Some(b)
+    }
+
+    /// 1-based byte column of the current position on its line.
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
     }
 
     fn starts_with(&self, s: &str) -> bool {
@@ -148,6 +161,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     // attribute, exactly rustc's disambiguation.
     if cur.starts_with("#!") && cur.peek(2) != Some(b'[') {
         let line = cur.line;
+        let col = cur.col();
         let start = cur.pos;
         line_comment(&mut cur)?;
         let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
@@ -155,6 +169,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             kind: TokenKind::LineComment,
             text,
             line,
+            col,
         });
     }
     while let Some(b) = cur.peek(0) {
@@ -163,10 +178,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             continue;
         }
         let line = cur.line;
+        let col = cur.col();
         let start = cur.pos;
         let kind = lex_one(&mut cur, b)?;
         let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
-        out.push(Token { kind, text, line });
+        out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
     }
     Ok(out)
 }
@@ -414,7 +435,15 @@ fn char_literal(cur: &mut Cursor<'_>, kind: TokenKind) -> Result<TokenKind, LexE
             escape(cur)?;
         }
         Some(b'\'') => return Err(cur.err("empty char literal")),
-        Some(_) => {}
+        Some(b) => {
+            // A multi-byte UTF-8 scalar (`'…'`): consume its
+            // continuation bytes so the closing quote lines up.
+            if b >= 0x80 {
+                while cur.peek(0).is_some_and(|c| c & 0xC0 == 0x80) {
+                    cur.bump();
+                }
+            }
+        }
         None => return Err(cur.err("unterminated char literal")),
     }
     if cur.bump() != Some(b'\'') {

@@ -10,15 +10,19 @@
 //!
 //! The binary lexes every `.rs` file in the workspace with a real Rust
 //! lexer ([`lexer`]), recovers the item structure with a lightweight
-//! parser ([`parse`]), and evaluates the rule set ([`rules`], D0–D10)
+//! parser ([`parse`]), and evaluates the rule set ([`rules`], D0–D13)
 //! in two phases: single-file token rules, then cross-file semantic
-//! rules over a [`graph::Workspace`] (stream-flow, config-surface,
-//! dead-artifact analysis). Suppressions (`// bpp-lint: allow(<rule>)`
-//! comments and a root-level `lint_allow.txt`) apply to both phases.
-//! Diagnostics are ordered deterministically (file path, then line, then
-//! rule), and `--json` emits a machine-readable schema-v2 report via
-//! `bpp-json` that is byte-for-byte reproducible — the
-//! `results/lint_fixture.json` golden test pins it.
+//! rules over a [`graph::Workspace`] — stream-flow, config-surface and
+//! dead-artifact analysis, plus the expression-level dataflow rules
+//! (unit inference over per-function CFGs ([`expr`], [`cfg`],
+//! [`dataflow`]), ledger-bucket coverage, reset coverage). Suppressions
+//! (`// bpp-lint: allow(<rule>)` comments and a root-level
+//! `lint_allow.txt`) apply to both phases. Diagnostics are ordered
+//! deterministically (file path, then line, then rule), and `--json`
+//! emits a machine-readable schema-v3 report via `bpp-json` that is
+//! byte-for-byte reproducible — the `results/lint_fixture.json` golden
+//! test pins it. (`--timing` adds a non-deterministic `timing` member;
+//! golden regeneration must not pass it.)
 //!
 //! Run it from the workspace root:
 //!
@@ -26,6 +30,7 @@
 //! cargo run --release -p bpp-lint            # human-readable report
 //! cargo run --release -p bpp-lint -- --deny  # CI gate: nonzero exit on findings
 //! cargo run --release -p bpp-lint -- --json  # machine-readable report
+//! cargo run --release -p bpp-lint -- --fix   # apply machine-applicable suggestions
 //! ```
 //!
 //! Exit codes under `--deny`: `0` clean, `1` surviving diagnostics, `3`
@@ -35,6 +40,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cfg;
+pub mod dataflow;
+pub mod expr;
+pub mod fix;
 pub mod graph;
 pub mod lexer;
 pub mod parse;
@@ -42,10 +51,11 @@ pub mod rules;
 
 use bpp_json::{Json, ToJson};
 use graph::{Analysis, Workspace};
-use rules::{check_file, known_rule, Diagnostic, SourceFile, Suppressions, RULES};
+use rules::{check_file, known_rule, Diagnostic, SourceFile, Suppressions, RULES, TOKEN_RULES};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Directory names never descended into: build output, VCS state, the
 /// lint crate's own violation fixtures, and committed experiment results.
@@ -70,6 +80,14 @@ pub struct Report {
     /// Per-rule suppressed counts (not serialized; feeds the human
     /// summary).
     pub suppressed_by_rule: BTreeMap<&'static str, usize>,
+    /// Edits applied by `--fix` (always serialized; `0` without the
+    /// flag, so the CI idempotence gate can grep for `"fixed": 0`).
+    pub fixed: usize,
+    /// Per-phase wall-clock in microseconds, keyed by rule id plus the
+    /// `lex` / `parse` pseudo-phases. Present only under `--timing` —
+    /// the values are machine-dependent, so the byte-stable golden is
+    /// generated without it.
+    pub timing: Option<BTreeMap<String, u64>>,
 }
 
 impl ToJson for Diagnostic {
@@ -81,14 +99,18 @@ impl ToJson for Diagnostic {
             ("message", self.message.to_json()),
         ];
         if let Some(s) = &self.suggestion {
-            members.push((
-                "suggestion",
-                Json::object([
-                    ("line", u64::from(s.line).to_json()),
-                    ("kind", s.kind.to_json()),
-                    ("text", s.text.to_json()),
-                ]),
-            ));
+            let mut sm = vec![
+                ("line", u64::from(s.line).to_json()),
+                ("kind", s.kind.to_json()),
+                ("text", s.text.to_json()),
+            ];
+            if let Some((a, b)) = s.span {
+                sm.push((
+                    "span",
+                    Json::Arr(vec![u64::from(a).to_json(), u64::from(b).to_json()]),
+                ));
+            }
+            members.push(("suggestion", Json::object(sm)));
         }
         Json::object(members)
     }
@@ -96,14 +118,22 @@ impl ToJson for Diagnostic {
 
 impl ToJson for Report {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("version", 2u64.to_json()),
+        let mut members = vec![
+            ("version", 3u64.to_json()),
             ("root", self.root.to_json()),
             ("files", (self.files as u64).to_json()),
             ("internal_errors", (self.internal_errors as u64).to_json()),
             ("diagnostics", self.diagnostics.to_json()),
             ("suppressed", (self.suppressed as u64).to_json()),
-        ])
+            ("fixed", (self.fixed as u64).to_json()),
+        ];
+        if let Some(timing) = &self.timing {
+            members.push((
+                "timing",
+                Json::object(timing.iter().map(|(k, v)| (k.clone(), v.to_json()))),
+            ));
+        }
+        Json::object(members)
     }
 }
 
@@ -140,6 +170,16 @@ impl Report {
                     "rule {id}: {active} diagnostic(s), {silenced} suppressed\n"
                 ));
             }
+        }
+        if let Some(timing) = &self.timing {
+            let total: u64 = timing.values().sum();
+            for (phase, us) in timing {
+                out.push_str(&format!("timing {phase}: {us} us\n"));
+            }
+            out.push_str(&format!("timing total: {total} us\n"));
+        }
+        if self.fixed > 0 {
+            out.push_str(&format!("bpp-lint --fix: applied {} edit(s)\n", self.fixed));
         }
         out.push_str(&format!(
             "bpp-lint: {} file(s), {} diagnostic(s), {} suppressed, {} internal error(s)\n",
@@ -297,8 +337,24 @@ fn collect_reference_texts(root: &Path) -> Vec<String> {
 /// Lint every `.rs` file under `root`, labelling the report with
 /// `root_label` (kept verbatim so output does not depend on the machine's
 /// absolute paths). Runs both phases: single-file token rules, then the
-/// cross-file semantic rules (D7, D8, D10) over the whole tree.
+/// cross-file semantic rules (D7, D8, D10–D13) over the whole tree.
 pub fn lint_root(root: &Path, root_label: &str) -> io::Result<Report> {
+    lint_root_opts(root, root_label, false)
+}
+
+/// Accumulate elapsed microseconds for one timed phase.
+fn record(timing: &mut Option<BTreeMap<String, u64>>, phase: &str, since: Instant) {
+    if let Some(t) = timing {
+        *t.entry(phase.to_string()).or_insert(0) +=
+            u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX);
+    }
+}
+
+/// [`lint_root`] with options: when `timing` is set the report carries
+/// per-rule wall-clock (microseconds, machine-dependent — never part of
+/// the byte-stable golden).
+pub fn lint_root_opts(root: &Path, root_label: &str, timing: bool) -> io::Result<Report> {
+    let mut timing: Option<BTreeMap<String, u64>> = timing.then(BTreeMap::new);
     let mut rels = Vec::new();
     collect_rs(root, root, &mut rels)?;
     rels.sort();
@@ -311,10 +367,15 @@ pub fn lint_root(root: &Path, root_label: &str) -> io::Result<Report> {
     for rel in &rels {
         let src =
             std::fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
-        match lexer::lex(&src) {
+        let t0 = Instant::now();
+        let lexed = lexer::lex(&src);
+        record(&mut timing, "lex", t0);
+        match lexed {
             Ok(tokens) => {
                 let file = SourceFile::new(rel.clone(), tokens);
+                let t0 = Instant::now();
                 analyses.push(Analysis::new(file));
+                record(&mut timing, "parse", t0);
             }
             Err(e) => {
                 internal_errors += 1;
@@ -361,7 +422,9 @@ pub fn lint_root(root: &Path, root_label: &str) -> io::Result<Report> {
         }
     }
 
-    // Phase 1: per-file suppressions + token rules.
+    // Phase 1: per-file suppressions, then the token rules rule-major so
+    // each rule's cost is attributable (diagnostic order is irrelevant —
+    // everything is sorted at the end).
     for a in &analyses {
         let mut sup = Suppressions::parse(&a.file);
         if let Some(rules) = allow_by_path.get(&a.file.rel) {
@@ -370,20 +433,39 @@ pub fn lint_root(root: &Path, root_label: &str) -> io::Result<Report> {
             }
         }
         raw.extend(d0_problems(&a.file, &sup));
-        raw.extend(check_file(&a.file));
         sups.push(sup);
+    }
+    for (id, rule) in TOKEN_RULES {
+        let t0 = Instant::now();
+        for a in &analyses {
+            rule(&a.file, &mut raw);
+        }
+        record(&mut timing, id, t0);
     }
 
     // Phase 2: cross-file semantic rules over the workspace graph.
+    let t0 = Instant::now();
     let ws = Workspace::build(
         &analyses,
         read_optional(root, "DESIGN.md"),
         collect_artifacts(root),
         collect_reference_texts(root),
     );
-    rules::stream_flow::d7_stream_flow(&ws, &mut raw);
-    rules::config_surface::d8_config_surface(&ws, &mut raw);
-    rules::dead_artifacts::d10_dead_artifacts(&ws, &mut raw);
+    record(&mut timing, "graph", t0);
+    type SemanticRule = fn(&Workspace, &mut Vec<Diagnostic>);
+    let semantic: [(&str, SemanticRule); 6] = [
+        ("D7", rules::stream_flow::d7_stream_flow),
+        ("D8", rules::config_surface::d8_config_surface),
+        ("D10", rules::dead_artifacts::d10_dead_artifacts),
+        ("D11", rules::unit_infer::d11_unit_inference),
+        ("D12", rules::ledger::d12_ledger_coverage),
+        ("D13", rules::reset::d13_reset_coverage),
+    ];
+    for (id, rule) in semantic {
+        let t0 = Instant::now();
+        rule(&ws, &mut raw);
+        record(&mut timing, id, t0);
+    }
 
     // Apply suppressions to everything (D0 is never suppressible by
     // construction: directives naming it are rejected at parse time).
@@ -414,5 +496,7 @@ pub fn lint_root(root: &Path, root_label: &str) -> io::Result<Report> {
         diagnostics,
         suppressed,
         suppressed_by_rule,
+        fixed: 0,
+        timing,
     })
 }

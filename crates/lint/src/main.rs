@@ -9,7 +9,7 @@ const USAGE: &str = "\
 bpp-lint — determinism & hygiene static analysis for the bpp workspace
 
 USAGE:
-    bpp-lint [--root <path>] [--json] [--deny] [--list-rules]
+    bpp-lint [--root <path>] [--json] [--deny] [--fix] [--timing] [--list-rules]
 
 OPTIONS:
     --root <path>   Lint this tree instead of the workspace root; the
@@ -18,6 +18,15 @@ OPTIONS:
     --deny          Exit with status 1 if any diagnostic survives
                     suppression, or status 3 if the lexer itself failed
                     on any file (the CI gate).
+    --fix           Apply machine-applicable suggestions (spanned
+                    replaces and header inserts) in place, then re-lint;
+                    the report describes the fixed tree and its `fixed`
+                    field counts the edits. Idempotent: a second --fix
+                    applies zero edits.
+    --timing        Add per-rule wall-clock (microseconds) to the report:
+                    a `timing` member under --json, `timing <phase>`
+                    lines in the human summary. Machine-dependent — never
+                    use when regenerating the golden fixture.
     --list-rules    Print the rule registry and exit.
     -h, --help      Show this help.
 
@@ -33,6 +42,8 @@ fn main() -> ExitCode {
     let mut root_arg: Option<String> = None;
     let mut json = false;
     let mut deny = false;
+    let mut fix = false;
+    let mut timing = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +56,8 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--deny" => deny = true,
+            "--fix" => fix = true,
+            "--timing" => timing = true,
             "--list-rules" => {
                 for (id, summary) in bpp_lint::rules::RULES {
                     println!("{id}  {summary}");
@@ -65,13 +78,34 @@ fn main() -> ExitCode {
         Some(p) => (std::path::PathBuf::from(p), p.clone()),
         None => (bpp_lint::workspace_root(), ".".to_string()),
     };
-    let report = match bpp_lint::lint_root(&root, &label) {
+    let mut report = match bpp_lint::lint_root_opts(&root, &label, timing) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bpp-lint: cannot lint {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if fix {
+        let fixed = match bpp_lint::fix::apply_fixes(&root, &report.diagnostics) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("bpp-lint: cannot apply fixes under {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        if fixed > 0 {
+            // Re-lint so the report (and any --deny verdict) describes
+            // the tree as fixed, not as found.
+            report = match bpp_lint::lint_root_opts(&root, &label, timing) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bpp-lint: cannot re-lint {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+        }
+        report.fixed = fixed;
+    }
     if json {
         print!("{}", report.to_json_string());
     } else {

@@ -172,7 +172,7 @@ pub fn parse_file(f: &SourceFile) -> ParsedFile {
 
 /// Skip a balanced `<…>` generic list whose `<` sits at `k`; returns the
 /// index past the matching `>`. `<<`/`>>` count twice.
-fn skip_generics(f: &SourceFile, k: usize) -> usize {
+pub(crate) fn skip_generics(f: &SourceFile, k: usize) -> usize {
     let mut depth = 0i32;
     let mut j = k;
     while j < f.code.len() {
@@ -195,7 +195,7 @@ fn skip_generics(f: &SourceFile, k: usize) -> usize {
 
 /// Find the matching closer for the opener at code index `open`
 /// (`(`/`[`/`{` families all balanced together); returns its index.
-fn matching(f: &SourceFile, open: usize) -> usize {
+pub(crate) fn matching(f: &SourceFile, open: usize) -> usize {
     let mut depth = 0i32;
     let mut j = open;
     while j < f.code.len() {

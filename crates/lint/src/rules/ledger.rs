@@ -1,0 +1,321 @@
+//! Rule D12: ledger-bucket coverage.
+//!
+//! The chaos harness's `ConservationLedger` enforces at *runtime* that
+//! every request sent is accounted for by exactly one terminal bucket:
+//!
+//! ```text
+//! sent == lost_in_transit + browned_out + orphaned + admission_rejected
+//!       + dropped_full + evicted + served + in_flight_at_end
+//! ```
+//!
+//! D12 is the static complement: on every control-flow path that
+//! *terminates* a request — returning `DroppedFull`, `Refused`,
+//! `RetryAfter`, or dropping it silently — **some** bucket counter must
+//! have been incremented, and no path may definitely increment two
+//! distinct terminal buckets (a double-counted request). The analysis is
+//! a forward dataflow over each function's CFG with state
+//! `(definite, possible)`: the sets of counters incremented on *every*
+//! path (∩-join) and on *some* path (∪-join) reaching the point.
+//! Increments reached through calls are folded in via per-function
+//! summaries (the increment for a transit-lost request happens inside
+//! `transit_lost()`, not at its call site), iterated to a fixpoint over
+//! the scoped files.
+//!
+//! Requirements are deliberately asymmetric to avoid false positives
+//! from cross-function correlation:
+//!
+//! * terminal outcomes check the **possible** set (the `rejected`
+//!   increment for a `RetryAfter` return happens inside `admit()` under
+//!   a condition this intraprocedural view cannot correlate);
+//! * the double-count check uses the **definite** set (a counter
+//!   accumulated in a loop joins back to "possible", never "definite").
+//!
+//! Scope: the request-path files (`simulation.rs`, `queue.rs`,
+//! `admission.rs`, `fault.rs`) of the `core` and `server` crates.
+
+use super::{diag, Diagnostic, SourceFile};
+use crate::dataflow::{forward, Lattice};
+use crate::expr::{ExprArena, ExprId, ExprKind};
+use crate::graph::{Body, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters that terminate a request's accounting (one per request, ever).
+const TERMINAL: [&str; 8] = [
+    "requests_lost",
+    "requests_browned_out",
+    "orphaned_drained",
+    "refused_down",
+    "rejected",
+    "dropped_full",
+    "evicted_requests",
+    "served_requests",
+];
+
+/// Counters that keep a request alive inside the server (it will reach a
+/// terminal bucket later, or be counted in flight at the end).
+const CONTINUATION: [&str; 3] = ["enqueued", "coalesced", "admitted"];
+
+/// The outcome enums whose variants D12 interprets at `return` sites.
+const OUTCOME_ENUMS: [&str; 2] = ["SubmitOutcome", "SendOutcome"];
+
+/// What a returned outcome variant demands of the path reaching it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Need {
+    /// A terminal bucket must be possible (DroppedFull, Refused,
+    /// RetryAfter).
+    Terminal,
+    /// Any bucket at all must be possible (Silent — the request was
+    /// either dropped by a fault layer or handed onward).
+    Any,
+    /// A continuation counter must be possible (Enqueued, Coalesced).
+    Continuation,
+}
+
+fn need_of(variant: &str) -> Option<Need> {
+    match variant {
+        "DroppedFull" | "Refused" | "RetryAfter" => Some(Need::Terminal),
+        "Silent" => Some(Need::Any),
+        "Enqueued" | "Coalesced" => Some(Need::Continuation),
+        _ => None,
+    }
+}
+
+/// Basenames of the request-path files the rule audits.
+const SCOPED_FILES: [&str; 4] = ["simulation.rs", "queue.rs", "admission.rs", "fault.rs"];
+
+fn in_scope(f: &SourceFile) -> bool {
+    f.scope.library
+        && f.scope
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| c == "core" || c == "server")
+        && f.rel
+            .rsplit('/')
+            .next()
+            .is_some_and(|base| SCOPED_FILES.contains(&base))
+}
+
+/// `(definite, possible)` counter sets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Incs {
+    definite: BTreeSet<String>,
+    possible: BTreeSet<String>,
+}
+
+/// Per-function increment summaries (callee name → what a call to it
+/// definitely/possibly increments).
+type Summaries = BTreeMap<String, Incs>;
+
+struct LedgerLattice<'a> {
+    arena: &'a ExprArena,
+    summaries: &'a Summaries,
+}
+
+impl LedgerLattice<'_> {
+    /// Fold every counter increment and summarized call in `stmt`'s
+    /// subtree into `state`. Conditional structure *within* one statement
+    /// (expression-position `if`, closures) is approximated as
+    /// unconditional — the CFG already splits all statement-level
+    /// branching into separate blocks.
+    fn apply(&self, state: &mut Incs, stmt: ExprId) {
+        self.arena
+            .walk(stmt, &mut |id| match &self.arena.get(id).kind {
+                ExprKind::Assign { op, lhs, .. } if op == "+=" => {
+                    if let ExprKind::Field(_, name) = &self.arena.get(*lhs).kind {
+                        if TERMINAL.contains(&name.as_str())
+                            || CONTINUATION.contains(&name.as_str())
+                        {
+                            state.definite.insert(name.clone());
+                            state.possible.insert(name.clone());
+                        }
+                    }
+                }
+                ExprKind::MethodCall { method, .. } => {
+                    if let Some(s) = self.summaries.get(method) {
+                        state.definite.extend(s.definite.iter().cloned());
+                        state.possible.extend(s.possible.iter().cloned());
+                    }
+                }
+                ExprKind::Call { callee, .. } => {
+                    let name = match &self.arena.get(*callee).kind {
+                        ExprKind::Name(n) => Some(n.as_str()),
+                        ExprKind::Path(segs) => segs.last().map(String::as_str),
+                        _ => None,
+                    };
+                    if let Some(s) = name.and_then(|n| self.summaries.get(n)) {
+                        state.definite.extend(s.definite.iter().cloned());
+                        state.possible.extend(s.possible.iter().cloned());
+                    }
+                }
+                _ => {}
+            });
+    }
+}
+
+impl Lattice for LedgerLattice<'_> {
+    type State = Incs;
+
+    fn entry_state(&self) -> Incs {
+        Incs::default()
+    }
+
+    fn transfer(&mut self, state: &mut Incs, stmt: ExprId) {
+        self.apply(state, stmt);
+    }
+
+    fn join(&self, into: &mut Incs, other: &Incs) {
+        into.definite.retain(|c| other.definite.contains(c));
+        into.possible.extend(other.possible.iter().cloned());
+    }
+}
+
+/// The outcome variant a return-value expression produces, if any:
+/// `SubmitOutcome::DroppedFull` (a `Path`) or
+/// `SendOutcome::RetryAfter(delay)` (a `Call` on such a path).
+fn returned_variant(arena: &ExprArena, value: ExprId) -> Option<String> {
+    let mut found = None;
+    arena.walk(value, &mut |id| {
+        if found.is_some() {
+            return;
+        }
+        if let ExprKind::Path(segs) = &arena.get(id).kind {
+            if segs.len() >= 2 && OUTCOME_ENUMS.contains(&segs[segs.len() - 2].as_str()) {
+                found = Some(segs[segs.len() - 1].clone());
+            }
+        }
+    });
+    found
+}
+
+/// Analyze one body: returns the exit-state (for summaries) and, when
+/// `out` is given, reports violations at each `return` site.
+fn analyze_fn(
+    f: &SourceFile,
+    body: &Body,
+    summaries: &Summaries,
+    out: Option<&mut Vec<Diagnostic>>,
+) -> Incs {
+    let mut lat = LedgerLattice {
+        arena: &body.arena,
+        summaries,
+    };
+    let in_states = forward(&body.cfg, &mut lat);
+    if let Some(out) = out {
+        for (bi, state) in in_states.iter().enumerate() {
+            let Some(state) = state else { continue };
+            let mut incs = state.clone();
+            for &stmt in &body.cfg.blocks[bi].stmts {
+                lat.apply(&mut incs, stmt);
+                let ExprKind::Return(Some(value)) = &body.arena.get(stmt).kind else {
+                    continue;
+                };
+                let e = body.arena.get(stmt);
+                // Double-count check: two distinct terminal buckets
+                // *definitely* incremented on one path.
+                let terms: Vec<&String> = incs
+                    .definite
+                    .iter()
+                    .filter(|c| TERMINAL.contains(&c.as_str()))
+                    .collect();
+                if terms.len() >= 2 {
+                    out.push(diag(
+                        f,
+                        e.line,
+                        "D12",
+                        format!(
+                            "path reaching this return increments {} terminal ledger buckets \
+                             ({}) — a request must terminate in exactly one",
+                            terms.len(),
+                            terms
+                                .iter()
+                                .map(|s| s.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    ));
+                }
+                let Some(variant) = returned_variant(&body.arena, *value) else {
+                    continue;
+                };
+                let Some(need) = need_of(&variant) else {
+                    continue;
+                };
+                let possible_terminal =
+                    incs.possible.iter().any(|c| TERMINAL.contains(&c.as_str()));
+                let possible_continuation = incs
+                    .possible
+                    .iter()
+                    .any(|c| CONTINUATION.contains(&c.as_str()));
+                let (ok, wanted) = match need {
+                    Need::Terminal => (possible_terminal, "a terminal ledger bucket"),
+                    Need::Any => (
+                        possible_terminal || possible_continuation,
+                        "any ledger bucket",
+                    ),
+                    Need::Continuation => (possible_continuation, "a continuation counter"),
+                };
+                if !ok {
+                    out.push(diag(
+                        f,
+                        e.line,
+                        "D12",
+                        format!(
+                            "path returns `{variant}` without incrementing {wanted} — the \
+                             conservation ledger will not balance (terminal: {}; continuation: \
+                             {})",
+                            TERMINAL.join(", "),
+                            CONTINUATION.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    in_states[body.cfg.exit].clone().unwrap_or_default()
+}
+
+/// D12 driver: iterate call summaries to a fixpoint over the scoped
+/// files, then report per-return violations.
+pub fn d12_ledger_coverage(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let mut summaries = Summaries::new();
+    for _pass in 0..3 {
+        let mut next = Summaries::new();
+        for a in ws.files {
+            if !in_scope(&a.file) {
+                continue;
+            }
+            for (gi, item) in a.items.fns.iter().enumerate() {
+                if a.file.in_test(item.line) {
+                    continue;
+                }
+                // Only unambiguous names are summarized: a call resolves
+                // by bare name, so a name with several definitions would
+                // attribute increments speculatively.
+                if ws.fn_defs.get(&item.name).is_none_or(|d| d.len() != 1) {
+                    continue;
+                }
+                let Some(body) = &a.bodies[gi] else { continue };
+                let exit = analyze_fn(&a.file, body, &summaries, None);
+                if !exit.possible.is_empty() {
+                    next.insert(item.name.clone(), exit);
+                }
+            }
+        }
+        if next == summaries {
+            break;
+        }
+        summaries = next;
+    }
+    for a in ws.files {
+        if !in_scope(&a.file) {
+            continue;
+        }
+        for (gi, item) in a.items.fns.iter().enumerate() {
+            if a.file.in_test(item.line) {
+                continue;
+            }
+            let Some(body) = &a.bodies[gi] else { continue };
+            analyze_fn(&a.file, body, &summaries, Some(out));
+        }
+    }
+}

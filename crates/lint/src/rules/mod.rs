@@ -38,8 +38,11 @@
 
 pub mod config_surface;
 pub mod dead_artifacts;
+pub mod ledger;
+pub mod reset;
 pub mod stream_flow;
 pub mod tokens;
+pub mod unit_infer;
 pub mod units;
 
 use crate::lexer::{Token, TokenKind};
@@ -57,6 +60,10 @@ pub struct Suggestion {
     pub kind: &'static str,
     /// The replacement / inserted source text.
     pub text: String,
+    /// For `"replace"`: the half-open 1-based **byte column** range on
+    /// `line` that `text` replaces. `None` leaves the rewrite boundary to
+    /// the reader; the `--fix` applier only acts on spanned replacements.
+    pub span: Option<(u32, u32)>,
 }
 
 /// One finding: file, 1-based line, rule id, human-readable message, and
@@ -76,7 +83,7 @@ pub struct Diagnostic {
 }
 
 /// The rule registry: id and one-line summary, in report order.
-pub const RULES: [(&str, &str); 11] = [
+pub const RULES: [(&str, &str); 14] = [
     ("D0", "lint integrity: lexer failures and malformed/unknown/stale suppressions"),
     ("D1", "stream-discipline: stream_rng/.named must use streams::* constants; registry unique+documented"),
     ("D2", "nondeterminism ban: Instant/SystemTime/thread spawn/HashMap-HashSet iteration in sim-affecting crates"),
@@ -86,9 +93,17 @@ pub const RULES: [(&str, &str); 11] = [
     ("D6", "every crate lib.rs must carry #![forbid(unsafe_code)]"),
     ("D7", "stream-flow: one RNG stream, one component — no shared handles, no duplicate construction sites"),
     ("D8", "config-surface: every config field must reach ToJson, FromJson, validate(), and DESIGN.md"),
-    ("D9", "time-unit discipline: no mixed arithmetic between *_bu, *_count, and *_ratio values"),
+    ("D9", "alias of D11 — the token-level unit check D11's dataflow analysis supersedes"),
     ("D10", "dead artifacts: unreachable experiment grids and unreferenced results/ goldens"),
+    ("D11", "unit inference: *_bu/*_count/*_ratio classes propagated through bindings, params, and returns"),
+    ("D12", "ledger coverage: every request-terminating path must increment exactly one ConservationLedger bucket"),
+    ("D13", "reset coverage: every mutable volatile field must be written on the cold-restart path"),
 ];
+
+/// Suppression aliases: `allow(<old>)` also silences diagnostics of the
+/// rule that superseded it, so existing annotations keep working across a
+/// rule upgrade.
+pub const RULE_ALIASES: [(&str, &str); 1] = [("D9", "D11")];
 
 /// Crates whose code feeds simulation results; rule D2's blast radius.
 pub(crate) const SIM_AFFECTING: [&str; 8] = [
@@ -349,15 +364,22 @@ impl Suppressions {
         s
     }
 
-    /// Whether a diagnostic of `rule` at `line` is suppressed.
+    /// Whether a diagnostic of `rule` at `line` is suppressed. A
+    /// suppression naming an aliased rule ([`RULE_ALIASES`]) covers its
+    /// successor too.
     pub fn covers(&self, rule: &str, line: u32) -> bool {
-        if self.file_rules.contains(rule) {
-            return true;
-        }
-        // A directive covers its own line and the line directly below.
-        [line, line.saturating_sub(1)]
-            .iter()
-            .any(|l| self.line_rules.get(l).is_some_and(|r| r.contains(rule)))
+        let hits = |name: &str| {
+            self.file_rules.contains(name)
+                // A directive covers its own line and the line directly
+                // below.
+                || [line, line.saturating_sub(1)]
+                    .iter()
+                    .any(|l| self.line_rules.get(l).is_some_and(|r| r.contains(name)))
+        };
+        hits(rule)
+            || RULE_ALIASES
+                .iter()
+                .any(|(old, new)| *new == rule && hits(old))
     }
 
     /// Add a file-wide suppression (used by the root `lint_allow.txt`).
@@ -371,20 +393,32 @@ pub fn known_rule(name: &str) -> bool {
     RULES.iter().any(|(id, _)| *id == name && *id != "D0")
 }
 
+/// The single-file token rules, as a (rule id, pass) table so the driver
+/// can attribute per-rule timing. A rule may contribute several passes
+/// (D1); the id labels the timing bucket. D9 is absent by design: its
+/// token-level check is superseded by D11's dataflow analysis
+/// ([`units::d9_unit_discipline`] stays available as a differential
+/// oracle).
+#[allow(clippy::type_complexity)]
+pub const TOKEN_RULES: [(&str, fn(&SourceFile, &mut Vec<Diagnostic>)); 7] = [
+    ("D1", tokens::d1_stream_discipline),
+    ("D1", tokens::d1_registry),
+    ("D2", tokens::d2_nondeterminism),
+    ("D3", tokens::d3_panic_hygiene),
+    ("D4", tokens::d4_float_eq),
+    ("D5", tokens::d5_json_key_drift),
+    ("D6", tokens::d6_forbid_unsafe),
+];
+
 /// Run every single-file rule over one file; returns raw
 /// (unsuppressed-unfiltered) diagnostics. The caller applies
-/// [`Suppressions`] and sorting. Cross-file rules (D7, D8, D10) run
+/// [`Suppressions`] and sorting. Cross-file rules (D7, D8, D10–D13) run
 /// separately over the whole workspace — see [`crate::graph`].
 pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    tokens::d1_stream_discipline(f, &mut out);
-    tokens::d1_registry(f, &mut out);
-    tokens::d2_nondeterminism(f, &mut out);
-    tokens::d3_panic_hygiene(f, &mut out);
-    tokens::d4_float_eq(f, &mut out);
-    tokens::d5_json_key_drift(f, &mut out);
-    tokens::d6_forbid_unsafe(f, &mut out);
-    units::d9_unit_discipline(f, &mut out);
+    for (_, pass) in TOKEN_RULES {
+        pass(f, &mut out);
+    }
     out
 }
 

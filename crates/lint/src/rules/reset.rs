@@ -1,0 +1,255 @@
+//! Rule D13: cold-restart reset coverage.
+//!
+//! A crash wipes the server's volatile state; the restart path must
+//! rebuild *all* of it. Every type that participates in crash recovery
+//! exposes a reset method (`crash_drain`, `crash_reset`, `restart_cold`,
+//! `cold_restart`) — and history shows the failure mode: a new mutable
+//! field is added, mutated by the hot path, and silently survives a
+//! restart because nobody extended the reset method.
+//!
+//! D13 closes that hole statically. For every impl block that defines a
+//! reset method, each struct field that any *other* method mutates
+//! (direct assignment through `self`, or a mutating container call like
+//! `self.order.push_back(..)`) must be **written** on the reset path:
+//! assigned, cleared via a mutating call, reached through an `if let`
+//! alias of a `self` field (`if let Some(at) = &mut self.enqueue_at {
+//! at.clear() }`), reset by a same-impl helper the reset method calls
+//! (one level of transitivity), or wholesale via `*self = ..`.
+//!
+//! Config fields a restart deliberately preserves (capacities, policies)
+//! surface as diagnostics too — that is intentional: the justification
+//! lives next to the field as a `bpp-lint: allow(D13): <why>` line, so
+//! the decision "survives restart" is reviewed, not accidental.
+//!
+//! Scope: library code of the `core` and `server` crates.
+
+use super::{diag, Diagnostic, SourceFile};
+use crate::expr::{ExprArena, ExprId, ExprKind};
+use crate::graph::Workspace;
+use crate::parse::{FnItem, StructItem};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names that implement the cold-restart path.
+const RESET_METHODS: [&str; 4] = ["crash_drain", "crash_reset", "restart_cold", "cold_restart"];
+
+/// Container methods that mutate their receiver.
+const MUTATING_CALLS: [&str; 16] = [
+    "clear",
+    "insert",
+    "remove",
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "drain",
+    "truncate",
+    "extend",
+    "take",
+    "replace",
+    "retain",
+    "reset",
+];
+
+fn in_scope(f: &SourceFile) -> bool {
+    f.scope.library
+        && f.scope
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| c == "core" || c == "server")
+}
+
+/// The top-level `self` field a place expression roots in: `self.stats.x`
+/// → `stats`; `self.order[i]` → `order`; `(*self.cache).y` → `cache`.
+/// `alias` maps local names bound from `self` fields back to the field.
+fn self_field_of(
+    arena: &ExprArena,
+    id: ExprId,
+    alias: &BTreeMap<String, String>,
+) -> Option<String> {
+    match &arena.get(id).kind {
+        ExprKind::Field(base, name) => match &arena.get(*base).kind {
+            ExprKind::Name(n) if n == "self" => Some(name.clone()),
+            _ => self_field_of(arena, *base, alias),
+        },
+        ExprKind::Index { base, .. }
+        | ExprKind::Unary { expr: base, .. }
+        | ExprKind::Paren(base) => self_field_of(arena, *base, alias),
+        ExprKind::Name(n) => alias.get(n).cloned(),
+        _ => None,
+    }
+}
+
+/// Whether the expression is exactly `self` (possibly deref'd /
+/// parenthesized), i.e. the target of a whole-struct `*self = ..` write.
+fn is_self(arena: &ExprArena, id: ExprId) -> bool {
+    match &arena.get(id).kind {
+        ExprKind::Name(n) => n == "self",
+        ExprKind::Unary { expr, .. } | ExprKind::Paren(expr) => is_self(arena, *expr),
+        _ => false,
+    }
+}
+
+/// What one method body does to `self`: the fields it writes, whether it
+/// rewrites `*self` wholesale, and the same-impl methods it calls on
+/// `self` (for one level of reset transitivity).
+#[derive(Debug, Default)]
+struct MethodEffects {
+    writes: BTreeSet<String>,
+    whole_self: bool,
+    self_calls: BTreeSet<String>,
+}
+
+/// Collect aliases introduced by `if let` / `while let` / `let` patterns
+/// whose scrutinee roots in a `self` field: the bound name stands for
+/// that field inside the body.
+fn collect_aliases(arena: &ExprArena, root: ExprId) -> BTreeMap<String, String> {
+    let mut alias = BTreeMap::new();
+    let empty = BTreeMap::new();
+    arena.walk(root, &mut |id| match &arena.get(id).kind {
+        ExprKind::If { cond, bound, .. } | ExprKind::While { cond, bound, .. } => {
+            if let ([b], Some(f)) = (&bound[..], self_field_of(arena, *cond, &empty)) {
+                alias.insert(b.clone(), f);
+            }
+        }
+        ExprKind::Let {
+            names,
+            init: Some(init),
+            ..
+        } => {
+            if let ([n], Some(f)) = (&names[..], self_field_of(arena, *init, &empty)) {
+                alias.insert(n.clone(), f);
+            }
+        }
+        _ => {}
+    });
+    alias
+}
+
+fn method_effects(arena: &ExprArena, root: ExprId) -> MethodEffects {
+    let alias = collect_aliases(arena, root);
+    let mut fx = MethodEffects::default();
+    arena.walk(root, &mut |id| match &arena.get(id).kind {
+        ExprKind::Assign { lhs, .. } => {
+            if is_self(arena, *lhs) {
+                fx.whole_self = true;
+            } else if let Some(f) = self_field_of(arena, *lhs, &alias) {
+                fx.writes.insert(f);
+            }
+        }
+        ExprKind::MethodCall { recv, method, .. } => {
+            if MUTATING_CALLS.contains(&method.as_str()) {
+                if let Some(f) = self_field_of(arena, *recv, &alias) {
+                    fx.writes.insert(f);
+                }
+            }
+            if is_self(arena, *recv) {
+                fx.self_calls.insert(method.clone());
+            }
+        }
+        _ => {}
+    });
+    fx
+}
+
+/// D13 driver.
+pub fn d13_reset_coverage(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for a in ws.files {
+        if !in_scope(&a.file) {
+            continue;
+        }
+        for im in &a.items.impls {
+            if im.trait_name.is_some() {
+                continue; // trait impls don't own the type's reset story
+            }
+            // Methods of this impl block, by body containment.
+            let methods: Vec<(usize, &FnItem)> = a
+                .items
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, item)| {
+                    item.body
+                        .is_some_and(|(lo, _)| im.body.0 <= lo && lo < im.body.1)
+                })
+                .collect();
+            let has_reset = methods
+                .iter()
+                .any(|(_, m)| RESET_METHODS.contains(&m.name.as_str()));
+            if !has_reset {
+                continue;
+            }
+            let Some(strukt) = a
+                .items
+                .structs
+                .iter()
+                .find(|s: &&StructItem| s.name == im.type_name)
+            else {
+                continue; // fields live in another file — out of reach
+            };
+            let mut effects: BTreeMap<&str, MethodEffects> = BTreeMap::new();
+            for (gi, item) in &methods {
+                if let Some(body) = &a.bodies[*gi] {
+                    effects.insert(item.name.as_str(), method_effects(&body.arena, body.root));
+                }
+            }
+            // Everything the reset path writes: the reset methods' own
+            // writes plus (one level) the writes of same-impl methods
+            // they call on self. `*self = ..` covers every field.
+            let mut reset_writes: BTreeSet<String> = BTreeSet::new();
+            let mut reset_whole = false;
+            for r in RESET_METHODS {
+                let Some(fx) = effects.get(r) else { continue };
+                reset_writes.extend(fx.writes.iter().cloned());
+                reset_whole |= fx.whole_self;
+                for callee in &fx.self_calls {
+                    if let Some(cfx) = effects.get(callee.as_str()) {
+                        reset_writes.extend(cfx.writes.iter().cloned());
+                        reset_whole |= cfx.whole_self;
+                    }
+                }
+            }
+            if reset_whole {
+                continue;
+            }
+            // Fields mutated anywhere outside the reset path.
+            let mut mutated_by: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+            for (name, fx) in &effects {
+                if RESET_METHODS.contains(name) {
+                    continue;
+                }
+                for f in &fx.writes {
+                    mutated_by.entry(f.as_str()).or_default().push(name);
+                }
+            }
+            for field in &strukt.fields {
+                let Some(mutators) = mutated_by.get(field.name.as_str()) else {
+                    continue;
+                };
+                if reset_writes.contains(&field.name) {
+                    continue;
+                }
+                out.push(diag(
+                    &a.file,
+                    field.line,
+                    "D13",
+                    format!(
+                        "field `{}` of `{}` is mutated by `{}` but never written on the \
+                         cold-restart path ({}) — state would leak across a crash; reset it \
+                         or justify with allow(D13)",
+                        field.name,
+                        im.type_name,
+                        mutators.join("`, `"),
+                        RESET_METHODS
+                            .iter()
+                            .filter(|r| effects.contains_key(**r))
+                            .copied()
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -342,11 +342,21 @@ fn d4_suggestion(f: &SourceFile, k: usize, op: &str) -> Option<Suggestion> {
     if k >= 2 && extends(f.text(k - 2)) || extends(f.text(k + 2)) || f.text(k + 2) == "(" {
         return None;
     }
+    // The byte span `lhs OP rhs` is machine-replaceable only when all
+    // three tokens share the diagnostic's line.
+    let span = (f.line(k - 1) == f.line(k) && f.line(k + 1) == f.line(k))
+        .then(|| {
+            let a = f.t(k - 1)?.col;
+            let b = f.t(k + 1)?;
+            Some((a, b.col + b.text.len() as u32))
+        })
+        .flatten();
     let call = format!("approx_eq({lhs}, {rhs})");
     Some(Suggestion {
         line: f.line(k),
         kind: "replace",
         text: if op == "!=" { format!("!{call}") } else { call },
+        span,
     })
 }
 
@@ -471,6 +481,7 @@ pub fn d6_forbid_unsafe(f: &SourceFile, out: &mut Vec<Diagnostic>) {
             line: 1,
             kind: "insert",
             text: "#![forbid(unsafe_code)]".to_string(),
+            span: None,
         });
         out.push(d);
     }

@@ -57,6 +57,18 @@ fn deny_with_internal_lexer_error_exits_three() {
 }
 
 #[test]
+fn internal_error_surfaces_in_json_report() {
+    // The machine-readable path must carry the same signal as the exit
+    // code: a lexer failure shows up as a nonzero `internal_errors`.
+    let root = Path::new(&fixtures()).join("broken");
+    let (code, stdout) = run(&["--root", &root.display().to_string(), "--json", "--deny"]);
+    assert_eq!(code, Some(3));
+    assert!(stdout.contains("\"version\": 3"));
+    assert!(stdout.contains("\"internal_errors\": 1"));
+    assert!(stdout.contains("lexer error"));
+}
+
+#[test]
 fn internal_error_takes_precedence_over_denied_diagnostics() {
     // The full fixture tree has both surviving diagnostics and a lexer
     // failure; 3 must win so CI distinguishes lint bugs from code bugs.

@@ -60,6 +60,22 @@ fn escaped_quote_byte_char() {
 }
 
 #[test]
+fn multibyte_char_literal() {
+    // `…` is three UTF-8 bytes; the closing quote sits after all of them.
+    assert_eq!(
+        toks("s.push('…')"),
+        owned(&[
+            (Ident, "s"),
+            (Punct, "."),
+            (Ident, "push"),
+            (Punct, "("),
+            (Char, "'…'"),
+            (Punct, ")"),
+        ])
+    );
+}
+
+#[test]
 fn char_versus_lifetime_disambiguation() {
     assert_eq!(
         toks("fn f<'a>(x: &'a str) -> char { 'a' }"),

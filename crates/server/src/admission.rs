@@ -132,6 +132,7 @@ pub struct Admission {
     cfg: AdmissionConfig,
     tokens: f64,
     refilled_at: f64,
+    // bpp-lint: allow(D13): cumulative run accounting — the conservation ledger needs it across crashes
     stats: AdmissionStats,
 }
 

@@ -121,6 +121,7 @@ impl QueueStats {
 pub struct RequestQueue {
     capacity: usize,
     discipline: Discipline,
+    // bpp-lint: allow(D13): config knob — restart preserves the configured policy
     overflow: OverflowPolicy,
     order: VecDeque<PageId>,
     /// page -> number of coalesced requests waiting on it (>= 1).
@@ -129,6 +130,7 @@ pub struct RequestQueue {
     /// is on. Pure keyed storage — never iterated — so hash order cannot
     /// leak into behavior.
     enqueue_at: Option<HashMap<PageId, f64>>,
+    // bpp-lint: allow(D13): cumulative run accounting — the conservation ledger needs it across crashes
     stats: QueueStats,
 }
 

@@ -153,6 +153,7 @@ pub struct SaturationDetector {
     policy: SaturationPolicy,
     occupancy: Ewma,
     saturated: bool,
+    // bpp-lint: allow(D13): run-history counters — deliberately survive a crash
     stats: SaturationStats,
 }
 

@@ -16,9 +16,11 @@ cargo clippy --all-targets --frozen -- -D warnings
 
 # Determinism & hygiene static analysis (see DESIGN.md "Static analysis"):
 # exit 1 on any unsuppressed diagnostic, exit 3 on an internal lexer
-# failure. On success the human report prints the per-rule counts; on
-# failure re-run without --deny so the log carries the full report.
-cargo run --release --frozen -p bpp-lint -- --deny || {
+# failure. On success the human report prints the per-rule counts and
+# wall-clock (--timing lands in the log only — the flag is banned from
+# golden regeneration); on failure re-run without --deny so the log
+# carries the full report.
+cargo run --release --frozen -p bpp-lint -- --deny --timing || {
     status=$?
     echo "ci: bpp-lint --deny failed (exit $status); full report follows" >&2
     cargo run --release --frozen -p bpp-lint -- >&2 || true
@@ -26,12 +28,33 @@ cargo run --release --frozen -p bpp-lint -- --deny || {
 }
 
 # Golden drift guard: re-linting the committed violation corpus must
-# reproduce the committed schema-v2 report byte for byte. Report-only
+# reproduce the committed schema-v3 report byte for byte. Report-only
 # mode exits 0 by design (the corpus is full of violations), so the
 # pipeline status is cmp's.
 cargo run --release --frozen -p bpp-lint -- --root crates/lint/fixtures --json \
     | cmp - results/lint_fixture.json \
     || { echo "ci: lint fixture report diverged from results/lint_fixture.json" >&2; exit 1; }
+
+# --fix gates. First: the clean workspace must need zero edits (a nonzero
+# count here means a committed file carries an unapplied machine fix).
+cargo run --release --frozen -p bpp-lint -- --fix --json \
+    | grep -q '"fixed": 0' \
+    || { echo "ci: bpp-lint --fix wants to edit the committed workspace" >&2; exit 1; }
+
+# Second: on a scratch copy of the violation corpus, --fix must converge
+# in one pass — the first run applies edits, the second applies none.
+# The copy cannot keep the name "fixtures": the scanner skips that
+# directory name by design.
+fixdir="$(mktemp -d)"
+trap 'rm -rf "$fixdir"' EXIT
+cp -r crates/lint/fixtures/. "$fixdir/"
+first="$(cargo run --release --frozen -p bpp-lint -- --root "$fixdir" --fix --json \
+    | grep -o '"fixed": [0-9]*')"
+[ "$first" != '"fixed": 0' ] \
+    || { echo "ci: --fix applied nothing on the violation corpus" >&2; exit 1; }
+cargo run --release --frozen -p bpp-lint -- --root "$fixdir" --fix --json \
+    | grep -q '"fixed": 0' \
+    || { echo "ci: --fix is not idempotent on the violation corpus" >&2; exit 1; }
 
 cargo fmt --check
 
