@@ -40,6 +40,15 @@ fn main() {
         });
     }
     {
+        let mut cursor = 0usize;
+        let mut page = 0u32;
+        q.bench("slots_until_present", || {
+            cursor = (cursor + 97) % program.major_cycle();
+            page = (page + 13) % 1000;
+            program.slots_until_present(PageId(page), cursor)
+        });
+    }
+    {
         let mut page = 0u32;
         q.bench("expected_slots", || {
             page = (page + 13) % 1000;

@@ -1,0 +1,27 @@
+//! Static broadcast-program verification gate.
+//!
+//! Runs bpp-verify's rules V0–V6 over every experiment-grid configuration
+//! (`bpp_core::experiments::verify_targets`) derived from the paper
+//! defaults and prints the findings in human form; `--deny` exits 1 when
+//! any rule fires, which is how `scripts/ci.sh` gates merges. `--smoke`
+//! instead sweeps the small-system grid and emits the schema-versioned
+//! JSON report; CI compares it byte-for-byte against
+//! `results/verify_smoke.json` so report drift (new rules, message edits,
+//! schema changes) is always an intentional golden regeneration.
+
+use bpp_core::SystemConfig;
+use bpp_verify::verify_grid;
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        let report = verify_grid(&SystemConfig::small());
+        print!("{}", report.to_json_string());
+        return;
+    }
+    let deny = std::env::args().any(|a| a == "--deny");
+    let report = verify_grid(&SystemConfig::paper_default());
+    print!("{}", report.render_human());
+    if deny && !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -98,6 +98,23 @@ impl IndexedProgram {
         self.slots[i]
     }
 
+    /// All slots of the indexed cycle in order.
+    pub fn slots(&self) -> &[IndexedSlot] {
+        &self.slots
+    }
+
+    /// Starting offsets of the index segments within the cycle, in
+    /// ascending order. This is the offset table bpp-verify rule V3 audits
+    /// for index coherence.
+    pub fn index_starts(&self) -> &[usize] {
+        &self.index_starts
+    }
+
+    /// Length of each index segment in slots.
+    pub fn index_size(&self) -> usize {
+        self.index_size
+    }
+
     /// Expected access and tuning times (in slots) for the (1, m) probe
     /// protocol, averaged over a uniformly random arrival instant, for a
     /// client whose page interest follows `probs` (one weight per page;

@@ -35,12 +35,14 @@ pub mod analysis;
 pub mod assignment;
 pub mod design;
 pub mod indexing;
+pub mod multichannel;
 pub mod program;
 
 pub use analysis::{expected_delay_by_page, ProgramAnalysis};
 pub use assignment::{Assignment, DiskSpec};
 pub use design::{design_disks, square_root_frequencies, DiskDesign};
 pub use indexing::{optimal_m, IndexedProgram, IndexedSlot};
+pub use multichannel::{ChannelConflict, MultiChannelProgram};
 pub use program::{BroadcastProgram, Slot};
 
 /// Identifier of a database page. Pages are dense indexes `0..ServerDBSize`.

@@ -26,6 +26,10 @@ pub struct BroadcastProgram {
     /// occurrences[p] = sorted slot indexes of page p within the major
     /// cycle; empty for pages not on the broadcast. Indexed by PageId.
     occurrences: Vec<Vec<u32>>,
+    /// disk_of[i] = original disk index (into the assignment's disk list)
+    /// whose chunk produced slot `i` — padding slots included, since they
+    /// are bandwidth charged to that disk.
+    disk_of: Vec<u32>,
     minor_cycle: usize,
     num_minor_cycles: usize,
     db_size: usize,
@@ -51,6 +55,7 @@ impl BroadcastProgram {
             return BroadcastProgram {
                 slots: Vec::new(),
                 occurrences: vec![Vec::new(); db_size],
+                disk_of: Vec::new(),
                 minor_cycle: 0,
                 num_minor_cycles: 0,
                 db_size,
@@ -73,8 +78,9 @@ impl BroadcastProgram {
         let minor_cycle: usize = chunk_sizes.iter().sum();
         let major = minor_cycle * max_chunks;
         let mut slots = Vec::with_capacity(major);
+        let mut disk_of = Vec::with_capacity(major);
         for minor in 0..max_chunks {
-            for (k, &(_, disk)) in live.iter().enumerate() {
+            for (k, &(orig, disk)) in live.iter().enumerate() {
                 let chunk = minor % num_chunks[k];
                 let base = chunk * chunk_sizes[k];
                 for j in 0..chunk_sizes[k] {
@@ -84,6 +90,7 @@ impl BroadcastProgram {
                     } else {
                         Slot::Empty
                     });
+                    disk_of.push(orig as u32);
                 }
             }
         }
@@ -98,8 +105,52 @@ impl BroadcastProgram {
         BroadcastProgram {
             slots,
             occurrences,
+            disk_of,
             minor_cycle,
             num_minor_cycles: max_chunks,
+            db_size,
+        }
+    }
+
+    /// Build a program directly from a slot sequence.
+    ///
+    /// This is the entry point for tools that construct (or deliberately
+    /// corrupt) schedules outside [`generate`](Self::generate) — notably the
+    /// `bpp-verify` mutation harness. The occurrence index is rebuilt from
+    /// `slots`; `disk_of` maps each slot to the disk it is bandwidth-charged
+    /// to and must be the same length as `slots`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `disk_of` and `slots` disagree in length, when the slot
+    /// count is not `minor_cycle * num_minor_cycles`, or when a slot names a
+    /// page outside `0..db_size`.
+    pub fn from_slots(
+        slots: Vec<Slot>,
+        disk_of: Vec<u32>,
+        minor_cycle: usize,
+        num_minor_cycles: usize,
+        db_size: usize,
+    ) -> Self {
+        assert_eq!(slots.len(), disk_of.len(), "one disk charge per slot");
+        assert_eq!(
+            slots.len(),
+            minor_cycle * num_minor_cycles,
+            "slot count must tile into minor cycles"
+        );
+        let mut occurrences = vec![Vec::new(); db_size];
+        for (i, slot) in slots.iter().enumerate() {
+            if let Slot::Page(p) = slot {
+                assert!(p.index() < db_size, "{p} outside the {db_size}-page db");
+                occurrences[p.index()].push(i as u32);
+            }
+        }
+        BroadcastProgram {
+            slots,
+            occurrences,
+            disk_of,
+            minor_cycle,
+            num_minor_cycles,
             db_size,
         }
     }
@@ -143,6 +194,18 @@ impl BroadcastProgram {
         &self.slots
     }
 
+    /// Original disk index (into the generating assignment's disk list) that
+    /// produced slot `idx`. Padding slots are charged to the disk whose
+    /// chunk they pad.
+    pub fn disk_of_slot(&self, idx: usize) -> usize {
+        self.disk_of[idx] as usize
+    }
+
+    /// Per-slot disk charge map (parallel to [`slots`](Self::slots)).
+    pub fn disk_map(&self) -> &[u32] {
+        &self.disk_of
+    }
+
     /// True when `page` appears somewhere in the program.
     pub fn contains(&self, page: PageId) -> bool {
         !self.occurrences[page.index()].is_empty()
@@ -181,6 +244,25 @@ impl BroadcastProgram {
         Some(dist + 1)
     }
 
+    /// [`slots_until`](Self::slots_until) for pages known to be on the
+    /// broadcast. The coverage invariant — every page an assignment places
+    /// on a disk appears in the generated program — is what bpp-verify rule
+    /// V0 checks statically; callers that already hold a broadcast page
+    /// (e.g. iterating [`slots`](Self::slots) or an assignment's disks) use
+    /// this infallible form instead of unwrapping at each site.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `page` is not on the broadcast (a V0 violation upstream).
+    pub fn slots_until_present(&self, page: PageId, cursor: usize) -> usize {
+        debug_assert!(
+            self.contains(page),
+            "{page} is not on the broadcast — V0 coverage guarantees broadcast membership"
+        );
+        self.slots_until(page, cursor)
+            .expect("page is on the broadcast (bpp-verify V0 coverage)") // bpp-lint: allow(D3): membership is the V0-verified coverage invariant
+    }
+
     /// Expected number of push slots (inclusive) a client arriving at a
     /// uniformly random cursor position waits for `page`. `None` for
     /// pull-only pages.
@@ -211,7 +293,7 @@ impl BroadcastProgram {
     }
 }
 
-fn gcd(a: u64, b: u64) -> u64 {
+pub(crate) fn gcd(a: u64, b: u64) -> u64 {
     if b == 0 {
         a
     } else {
@@ -219,7 +301,7 @@ fn gcd(a: u64, b: u64) -> u64 {
     }
 }
 
-fn lcm(a: u64, b: u64) -> u64 {
+pub(crate) fn lcm(a: u64, b: u64) -> u64 {
     a / gcd(a, b) * b
 }
 
@@ -393,6 +475,68 @@ mod tests {
             assert_eq!(p.slot(i), Slot::Page(PageId(i as u32)));
             assert_eq!(p.frequency(PageId(i as u32)), 1);
         }
+    }
+
+    #[test]
+    fn disk_map_charges_every_slot_to_its_disk() {
+        let p = fig1_program();
+        // Minor cycle = one chunk per disk: disk 0 (a), disk 1 (b/c), disk 2.
+        let expect = [0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2];
+        for (i, &d) in expect.iter().enumerate() {
+            assert_eq!(p.disk_of_slot(i), d, "slot {i}");
+        }
+        assert_eq!(p.disk_map().len(), p.major_cycle());
+
+        // Paper config: padding slots are charged to a disk too.
+        let p = paper_program();
+        let mut per_disk = [0usize; 3];
+        for i in 0..p.major_cycle() {
+            per_disk[p.disk_of_slot(i)] += 1;
+        }
+        // Disk k gets chunk_size[k] * 6 slots: 50*6 + 134*6 + 84*6 = 1608.
+        assert_eq!(per_disk, [300, 804, 504]);
+    }
+
+    #[test]
+    fn from_slots_round_trips_generate() {
+        let p = fig1_program();
+        let q = BroadcastProgram::from_slots(
+            p.slots().to_vec(),
+            p.disk_map().to_vec(),
+            p.minor_cycle(),
+            p.num_minor_cycles(),
+            p.db_size(),
+        );
+        assert_eq!(q.major_cycle(), p.major_cycle());
+        for pg in 0..7 {
+            let pid = PageId(pg);
+            assert_eq!(q.frequency(pid), p.frequency(pid));
+            assert_eq!(q.slots_until(pid, 5), p.slots_until(pid, 5));
+        }
+    }
+
+    #[test]
+    fn slots_until_present_matches_fallible_form() {
+        let p = fig1_program();
+        for cursor in 0..=12 {
+            for pg in 0..7 {
+                let pid = PageId(pg);
+                assert_eq!(
+                    p.slots_until_present(pid, cursor),
+                    p.slots_until(pid, cursor).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not on the broadcast")]
+    fn slots_until_present_panics_for_pull_only_pages() {
+        let spec = DiskSpec::new(vec![2, 2], vec![2, 1]);
+        let mut a = Assignment::from_ranking(&identity_ranking(4), &spec);
+        a.chop(2);
+        let p = BroadcastProgram::generate(&a, 4);
+        p.slots_until_present(PageId(3), 0);
     }
 
     #[test]

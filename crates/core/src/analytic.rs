@@ -35,13 +35,13 @@ pub fn build_program(cfg: &SystemConfig) -> BroadcastProgram {
     BroadcastProgram::generate(&a, cfg.db_size)
 }
 
-/// Expected Pure-Push steady-state response time (broadcast units) for a
-/// Noise-0 client with an ideally warmed cache. Cache hits count as zero,
-/// exactly like the simulator's metric.
-pub fn push_response(cfg: &SystemConfig) -> f64 {
-    let program = build_program(cfg);
+/// Ideal steady-state cache contents for `cfg` against `program` under the
+/// effective cache policy (P for Pure-Pull, PIX otherwise) — the pages a
+/// perfectly warmed client holds, which both the closed form and the
+/// bpp-verify analytic cross-check treat as free hits.
+pub fn ideal_cache(cfg: &SystemConfig, program: &BroadcastProgram) -> Vec<PageId> {
     let zipf = Zipf::new(cfg.db_size, cfg.zipf_theta);
-    let probs = zipf.probs(); // Noise=0: item i has rank i
+    let probs = zipf.probs();
     let freqs: Vec<usize> = (0..cfg.db_size)
         .map(|i| program.frequency(PageId(i as u32)))
         .collect();
@@ -49,11 +49,21 @@ pub fn push_response(cfg: &SystemConfig) -> f64 {
         CachePolicy::P => StaticScoreCache::p(cfg.cache_size, probs),
         _ => StaticScoreCache::pix(cfg.cache_size, probs, &freqs),
     };
-    let cached: Vec<PageId> = cache
+    cache
         .ideal_content()
         .into_iter()
         .map(|i| PageId(i as u32))
-        .collect();
+        .collect()
+}
+
+/// Expected Pure-Push steady-state response time (broadcast units) for a
+/// Noise-0 client with an ideally warmed cache. Cache hits count as zero,
+/// exactly like the simulator's metric.
+pub fn push_response(cfg: &SystemConfig) -> f64 {
+    let program = build_program(cfg);
+    let zipf = Zipf::new(cfg.db_size, cfg.zipf_theta);
+    let probs = zipf.probs(); // Noise=0: item i has rank i
+    let cached = ideal_cache(cfg, &program);
     analyse(&program, probs, &cached).expected_response
 }
 

@@ -763,9 +763,155 @@ pub fn crash_sweep(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
     }
 }
 
+/// Every broadcast-program-bearing configuration shape the figure grids
+/// run, labelled `fig<id>/<series>` — the target list of the `bpp-verify`
+/// static gate (`scripts/ci.sh` runs `verify --deny` over it).
+///
+/// Parameters that influence neither the generated program, the bandwidth
+/// split, nor the analytic cross-check (think-time ratio, steady-state
+/// warmth, loss rate, population size) are collapsed to one representative
+/// per figure series, so each entry is a distinct
+/// (algorithm, PullBW, ThresPerc, Noise, chop) cell of its figure. Kept in
+/// sync with the `fig*`/`*_sweep` functions above by
+/// `verify_targets_cover_every_figure`.
+pub fn verify_targets(base: &SystemConfig) -> Vec<(String, SystemConfig)> {
+    let mut out: Vec<(String, SystemConfig)> = Vec::new();
+    let mut push = |label: String, tweak: &dyn Fn(&mut SystemConfig)| {
+        let mut c = base.clone();
+        tweak(&mut c);
+        out.push((label, c));
+    };
+    let ipp = |c: &mut SystemConfig, bw: f64, thres: f64| {
+        c.algorithm = Algorithm::Ipp;
+        c.pull_bw = bw;
+        c.thres_perc = thres;
+        c.steady_state_perc = 0.95;
+    };
+
+    // Figure 3: the three algorithms; 3b varies the IPP bandwidth split.
+    push("fig3a/Push".into(), &|c| c.algorithm = Algorithm::PurePush);
+    push("fig3a/Pull".into(), &|c| {
+        c.algorithm = Algorithm::PurePull;
+        c.steady_state_perc = 0.95;
+    });
+    push("fig3a/IPP-50".into(), &|c| ipp(c, 0.5, 0.0));
+    for bw in [0.1, 0.3, 0.5] {
+        push(format!("fig3b/IPP-{:.0}", bw * 100.0), &|c| ipp(c, bw, 0.0));
+    }
+    // Figure 4: warm-up runs of the same three algorithms at TTR 25 / 250.
+    for (id, ttr) in [("4a", 25.0), ("4b", 250.0)] {
+        push(format!("fig{id}/Push"), &|c| {
+            c.algorithm = Algorithm::PurePush;
+            c.think_time_ratio = ttr;
+        });
+        push(format!("fig{id}/IPP-50"), &|c| {
+            ipp(c, 0.5, 0.0);
+            c.think_time_ratio = ttr;
+        });
+    }
+    // Figure 5: noise sensitivity (program and cross-check are Noise-0
+    // ranked, but each published cell is still verified as configured).
+    for noise in [0.0, 0.15, 0.35] {
+        push(format!("fig5a/Pull-noise{:.0}", noise * 100.0), &|c| {
+            c.algorithm = Algorithm::PurePull;
+            c.steady_state_perc = 0.95;
+            c.noise = noise;
+        });
+        push(format!("fig5b/IPP-noise{:.0}", noise * 100.0), &|c| {
+            ipp(c, 0.5, 0.0);
+            c.noise = noise;
+        });
+    }
+    // Figure 6: threshold sweep at PullBW 50% (6a) and 30% (6b).
+    for (id, bw) in [("6a", 0.5), ("6b", 0.3)] {
+        for thres in [0.35, 0.25, 0.10, 0.0] {
+            push(format!("fig{id}/IPP-thres{:.0}", thres * 100.0), &|c| {
+                ipp(c, bw, thres)
+            });
+        }
+    }
+    // Figures 7 and 8: chopped programs (the cap mirrors fig7/fig8).
+    let max_chop = base.db_size.saturating_sub(base.disk_sizes[0]);
+    for (id, thres) in [("7a", 0.0), ("7b", 0.35)] {
+        for bw in [0.1, 0.3, 0.5] {
+            for chop in CHOP_GRID.into_iter().filter(|&ch| ch <= max_chop) {
+                push(format!("fig{id}/IPP-{:.0}-chop{chop}", bw * 100.0), &|c| {
+                    ipp(c, bw, thres);
+                    c.think_time_ratio = 25.0;
+                    c.chop = chop;
+                });
+            }
+        }
+    }
+    for chop in [0usize, 200, 300, 500, 700]
+        .into_iter()
+        .filter(|&ch| ch <= max_chop)
+    {
+        push(format!("fig8/IPP-chop{chop}"), &|c| {
+            ipp(c, 0.3, 0.35);
+            c.chop = chop;
+        });
+    }
+    // Robustness / population / crash scenarios all run the IPP-50
+    // operating point; loss, fleet size and crash schedule do not touch
+    // the program, so one representative each.
+    push("L1/IPP-loss10".into(), &|c| {
+        ipp(c, 0.5, 0.0);
+        c.fault = FaultConfig::lossy(0.10);
+    });
+    push("P1/IPP-fleet".into(), &|c| {
+        ipp(c, 0.5, 0.0);
+        c.think_time_ratio = 25.0;
+        c.population = ClientPopulation::fleet(1_000);
+    });
+    push("C1/IPP-crash".into(), &|c| {
+        ipp(c, 0.5, 0.0);
+        c.think_time_ratio = 25.0;
+        c.server_queue_size = 1_000;
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn verify_targets_cover_every_figure() {
+        let targets = verify_targets(&SystemConfig::paper_default());
+        for fig in [
+            "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a",
+            "fig7b", "fig8", "L1", "P1", "C1",
+        ] {
+            assert!(
+                targets.iter().any(|(l, _)| l.starts_with(fig)),
+                "{fig} has no verify target"
+            );
+        }
+        for (label, cfg) in &targets {
+            assert!(cfg.validate().is_ok(), "{label} is not a valid config");
+        }
+        let mut labels: Vec<&str> = targets.iter().map(|(l, _)| l.as_str()).collect();
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "verify target labels must be unique");
+        // The paper grid caps no chop cells (700 <= 900), so every figure-7
+        // bandwidth series carries the full CHOP_GRID.
+        assert!(n > 60, "expected the full grid, got {n} targets");
+    }
+
+    #[test]
+    fn verify_targets_respect_small_system_chop_cap() {
+        // small(): db 100, fastest disk 10 -> only chop 0 survives the cap.
+        let targets = verify_targets(&SystemConfig::small());
+        assert!(targets
+            .iter()
+            .all(|(_, c)| c.chop <= 100usize.saturating_sub(10)));
+        for (label, cfg) in &targets {
+            assert!(cfg.validate().is_ok(), "{label} invalid for small()");
+        }
+    }
 
     fn small_base() -> SystemConfig {
         SystemConfig::small()

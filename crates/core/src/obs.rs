@@ -36,6 +36,22 @@ pub(crate) struct ObsState {
     /// Server availability (0 up / 1 down / 2 recovering), sampled at
     /// every slot boundary; `None` unless the crash domain is active.
     fault_state: Option<Timeline>,
+    /// Per-disk cumulative share of push slots (padding included — padding
+    /// is bandwidth charged to its disk), sampled at every slot boundary;
+    /// `None` unless the `disk_share` obs knob is on.
+    disk_share: Option<DiskShare>,
+}
+
+/// Running per-disk push-slot counters with one cumulative-share timeline
+/// per broadcast disk.
+#[derive(Debug, Clone)]
+struct DiskShare {
+    /// Push slots charged to each disk so far.
+    counts: Vec<u64>,
+    /// Push slots charged overall (the denominator).
+    total: u64,
+    /// One `broadcast.disk<k>.share` timeline per disk.
+    timelines: Vec<Timeline>,
 }
 
 impl ObsState {
@@ -50,6 +66,7 @@ impl ObsState {
             fleet_hit_rate: None,
             mc_hit_rate: None,
             fault_state: None,
+            disk_share: None,
         }
     }
 
@@ -66,6 +83,37 @@ impl ObsState {
     /// Start the server-availability timeline (crash domain only).
     pub(crate) fn enable_fault_state(&mut self) {
         self.fault_state = Some(Timeline::new(self.cfg.timeline_stride));
+    }
+
+    /// Start the per-disk slot-mix timelines (`disk_share` knob only).
+    pub(crate) fn enable_disk_share(&mut self, num_disks: usize) {
+        self.disk_share = Some(DiskShare {
+            counts: vec![0; num_disks],
+            total: 0,
+            timelines: vec![Timeline::new(self.cfg.timeline_stride); num_disks],
+        });
+    }
+
+    /// Charge one push slot (page or padding) to `disk`.
+    pub(crate) fn on_push_slot_disk(&mut self, disk: usize) {
+        if let Some(ds) = &mut self.disk_share {
+            if disk < ds.counts.len() {
+                ds.counts[disk] += 1;
+                ds.total += 1;
+            }
+        }
+    }
+
+    /// Sample every disk's cumulative slot share at a slot boundary.
+    /// Nothing is recorded before the first push slot (no denominator).
+    pub(crate) fn on_slot_disk_share(&mut self, now: f64) {
+        if let Some(ds) = &mut self.disk_share {
+            if ds.total > 0 {
+                for (tl, &n) in ds.timelines.iter_mut().zip(&ds.counts) {
+                    tl.update(now, n as f64 / ds.total as f64);
+                }
+            }
+        }
     }
 
     /// Sample the fleet's cumulative hit rate at a slot boundary.
@@ -115,6 +163,11 @@ impl ObsState {
         }
         if let Some(tl) = &self.fault_state {
             report.add_timeline("fault.state", tl.sealed(t_end));
+        }
+        if let Some(ds) = &self.disk_share {
+            for (k, tl) in ds.timelines.iter().enumerate() {
+                report.add_timeline(&format!("broadcast.disk{k}.share"), tl.sealed(t_end));
+            }
         }
         let m = &mut report.metrics;
         m.add("server.pull_wait.count", self.pull_wait.count());

@@ -665,6 +665,9 @@ impl World {
                 if cfg.obs.mc_hit_rate {
                     o.enable_mc_hit_rate();
                 }
+                if cfg.obs.disk_share {
+                    o.enable_disk_share(cfg.rel_freqs.len());
+                }
                 if crash_active {
                     o.enable_fault_state();
                 }
@@ -1237,6 +1240,7 @@ impl Model for World {
                         obs.on_slot_fleet(now, fleet.stats().hit_rate());
                     }
                     obs.on_slot_mc_hit_rate(now, self.mc.stats().hit_rate());
+                    obs.on_slot_disk_share(now);
                     if let Some(c) = &self.crash {
                         let state = if c.down {
                             1.0
@@ -1309,6 +1313,12 @@ impl Model for World {
                             None
                         } else {
                             let s = self.program.slot(self.cursor);
+                            if let Some(obs) = &mut self.obs {
+                                // Padding slots too: they are bandwidth
+                                // charged to the disk whose chunking
+                                // produced them.
+                                obs.on_push_slot_disk(self.program.disk_of_slot(self.cursor));
+                            }
                             self.cursor = (self.cursor + 1) % self.program.major_cycle();
                             match s {
                                 Slot::Page(p) => {
@@ -1614,6 +1624,51 @@ mod tests {
         assert_eq!(a.dispatched(), b.dispatched());
         assert!(a.obs().is_none());
         assert!(b.obs().is_some());
+    }
+
+    #[test]
+    fn disk_share_timelines_cover_every_disk_and_sum_to_one() {
+        let mut cfg = quick_cfg(Algorithm::Ipp);
+        cfg.obs.enabled = true;
+        cfg.obs.disk_share = true;
+        let engine = run(&cfg);
+        let report = engine
+            .model()
+            .obs_report(engine.obs(), engine.now())
+            .expect("obs enabled");
+        let shares: Vec<f64> = (0..cfg.rel_freqs.len())
+            .map(|k| {
+                let key = format!("broadcast.disk{k}.share");
+                let (_, tl) = report
+                    .timelines
+                    .iter()
+                    .find(|(name, _)| *name == key)
+                    .expect("per-disk timeline present");
+                let (_, mean, _) = *tl.points().last().expect("disk was sampled");
+                mean
+            })
+            .collect();
+        // All disks sample at the same instants, so the per-bucket means
+        // of the cumulative shares still partition the broadcast: sum 1.
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares {shares:?}");
+        // The fast disk outspins the slow one in slot share as well.
+        assert!(shares[0] > 0.0 && shares.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn disk_share_knob_off_emits_no_timeline() {
+        let mut cfg = quick_cfg(Algorithm::Ipp);
+        cfg.obs.enabled = true;
+        let engine = run(&cfg);
+        let report = engine
+            .model()
+            .obs_report(engine.obs(), engine.now())
+            .expect("obs enabled");
+        assert!(report
+            .timelines
+            .iter()
+            .all(|(name, _)| !name.starts_with("broadcast.disk")));
     }
 
     #[test]

@@ -33,12 +33,13 @@ use crate::graph::{Analysis, Workspace};
 use crate::lexer::TokenKind;
 
 /// Structs whose fields must also appear in DESIGN.md's config table.
-pub const DESIGN_STRUCTS: [&str; 5] = [
+pub const DESIGN_STRUCTS: [&str; 6] = [
     "SystemConfig",
     "FaultConfig",
     "ClientPopulation",
     "CrashConfig",
     "AdmissionConfig",
+    "ObsConfig",
 ];
 
 /// Entry point: run the surface check over every file.

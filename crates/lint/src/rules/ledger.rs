@@ -31,7 +31,9 @@
 //!   accumulated in a loop joins back to "possible", never "definite").
 //!
 //! Scope: the request-path files (`simulation.rs`, `queue.rs`,
-//! `admission.rs`, `fault.rs`) of the `core` and `server` crates.
+//! `admission.rs`, `fault.rs`, `chaos.rs`) of the `core` and `server`
+//! crates — `chaos.rs` orchestrates the audited fault campaigns, so its
+//! outcome handling is held to the same conservation discipline.
 
 use super::{diag, Diagnostic, SourceFile};
 use crate::dataflow::{forward, Lattice};
@@ -81,7 +83,13 @@ fn need_of(variant: &str) -> Option<Need> {
 }
 
 /// Basenames of the request-path files the rule audits.
-const SCOPED_FILES: [&str; 4] = ["simulation.rs", "queue.rs", "admission.rs", "fault.rs"];
+const SCOPED_FILES: [&str; 5] = [
+    "simulation.rs",
+    "queue.rs",
+    "admission.rs",
+    "fault.rs",
+    "chaos.rs",
+];
 
 fn in_scope(f: &SourceFile) -> bool {
     f.scope.library

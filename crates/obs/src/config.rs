@@ -18,6 +18,12 @@ pub struct ObsConfig {
     /// key is omitted entirely while false so older configs and goldens
     /// stay byte-identical.
     pub mc_hit_rate: bool,
+    /// Record each broadcast disk's cumulative share of push slots as
+    /// per-slot timelines (`broadcast.disk<k>.share`), padding included —
+    /// padding is bandwidth charged to its disk. Off by default; the JSON
+    /// key is omitted entirely while false so older configs and goldens
+    /// stay byte-identical.
+    pub disk_share: bool,
 }
 
 impl Default for ObsConfig {
@@ -27,6 +33,7 @@ impl Default for ObsConfig {
             timeline_stride: 100.0,
             trace_capacity: 256,
             mc_hit_rate: false,
+            disk_share: false,
         }
     }
 }
@@ -42,8 +49,9 @@ impl ObsConfig {
             enabled: _,
             timeline_stride,
             trace_capacity,
-            // A boolean toggle: no value of mc_hit_rate is inconsistent.
+            // Boolean toggles: no value of these is inconsistent.
             mc_hit_rate: _,
+            disk_share: _,
         } = *self;
         if !(timeline_stride.is_finite() && timeline_stride > 0.0) {
             return Err(format!(
@@ -71,6 +79,11 @@ impl ToJson for ObsConfig {
                 members.push(("mc_hit_rate".to_string(), self.mc_hit_rate.to_json()));
             }
         }
+        if self.disk_share {
+            if let Json::Obj(members) = &mut obj {
+                members.push(("disk_share".to_string(), self.disk_share.to_json()));
+            }
+        }
         obj
     }
 }
@@ -82,6 +95,7 @@ impl FromJson for ObsConfig {
             timeline_stride: field(v, "timeline_stride")?,
             trace_capacity: field(v, "trace_capacity")?,
             mc_hit_rate: opt_field(v, "mc_hit_rate")?.unwrap_or_default(),
+            disk_share: opt_field(v, "disk_share")?.unwrap_or_default(),
         })
     }
 }
@@ -104,9 +118,11 @@ mod tests {
             timeline_stride: 50.0,
             trace_capacity: 32,
             mc_hit_rate: true,
+            disk_share: true,
         };
         let text = bpp_json::to_string(&cfg);
         assert!(text.contains("mc_hit_rate"));
+        assert!(text.contains("disk_share"));
         let back: ObsConfig = bpp_json::from_str(&text).expect("round trip"); // bpp-lint: allow(D3): test asserts parse success
         assert_eq!(back, cfg);
     }
@@ -119,6 +135,7 @@ mod tests {
         };
         let text = bpp_json::to_string(&cfg);
         assert!(!text.contains("mc_hit_rate"));
+        assert!(!text.contains("disk_share"));
         let back: ObsConfig = bpp_json::from_str(&text).expect("round trip"); // bpp-lint: allow(D3): test asserts parse success
         assert_eq!(back, cfg);
     }

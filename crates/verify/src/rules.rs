@@ -1,0 +1,558 @@
+//! The V0–V6 rule implementations.
+//!
+//! Each rule re-derives what it checks from primary inputs (the raw slot
+//! array, the assignment layout, the access weights) rather than trusting
+//! the program's own derived state, so a corruption in either side is a
+//! disagreement the rule can see. The mutation tests in
+//! `tests/properties.rs` pin the *selectivity* of every rule: each of the
+//! four canonical corruptions is caught by exactly its intended rule.
+
+use crate::{Finding, Target};
+use bpp_broadcast::{IndexedSlot, PageId, Slot};
+
+/// Rule identifiers with one-line summaries, in order.
+pub const RULES: [(&str, &str); 7] = [
+    ("V0", "total page coverage and chop-remainder padding"),
+    ("V1", "per-page spacing regularity"),
+    ("V2", "square-root-rule disk frequency consistency"),
+    ("V3", "index coherence"),
+    ("V4", "bandwidth accounting"),
+    ("V5", "analytic cross-check"),
+    ("V6", "K-channel conflict freedom"),
+];
+
+/// Tolerated multiplicative slack either side of the square-root-rule
+/// ideal frequency ratio. The paper's own configurations use small integer
+/// frequency ratios (3:2:1) against ideals like 1.56 and 1.60, so the band
+/// must admit coarse rounding; a factor-4 breach means the disk layout no
+/// longer tracks access probabilities in any square-root sense.
+pub const V2_SLACK: f64 = 4.0;
+
+/// Relative tolerance for the V5 expected-wait comparisons. Both sides are
+/// exact integer sums divided by the cycle length, so disagreement beyond
+/// float rounding is a real defect.
+pub const V5_REL_TOL: f64 = 1e-6;
+
+fn finding(t: &Target, rule: &'static str, message: String) -> Finding {
+    Finding {
+        target: t.label.clone(),
+        rule,
+        message,
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    a / gcd(a, b) * b
+}
+
+/// `(padding, major_cycle)` the generator must emit for this layout: a
+/// live disk with `len` pages is split into `nc = max_chunks / freq`
+/// chunks of `cs = ceil(len / nc)` slots, wasting `nc * cs - len` slots
+/// per pass — and the disk makes `freq` full passes per major cycle, which
+/// is `max_chunks` minor cycles of one chunk per disk. Re-derived here
+/// from the assignment alone, independently of the generator.
+fn expected_layout(disks: &[Vec<PageId>], freqs: &[u32]) -> (usize, usize) {
+    let live: Vec<(usize, u64)> = disks
+        .iter()
+        .zip(freqs)
+        .filter(|(d, _)| !d.is_empty())
+        .map(|(d, &f)| (d.len(), u64::from(f)))
+        .collect();
+    if live.is_empty() {
+        return (0, 0);
+    }
+    let max_chunks = live.iter().fold(1u64, |acc, &(_, f)| lcm(acc, f)) as usize;
+    let minor: usize = live
+        .iter()
+        .map(|&(len, f)| len.div_ceil(max_chunks / f as usize))
+        .sum();
+    let padding = live
+        .iter()
+        .map(|&(len, f)| {
+            let nc = max_chunks / f as usize;
+            (nc * len.div_ceil(nc) - len) * f as usize
+        })
+        .sum();
+    (padding, minor * max_chunks)
+}
+
+/// V0 — total page coverage. Every database page sits in exactly one place
+/// (one disk or the chop list); every assigned page is actually on the
+/// broadcast; every chopped page is off it; and the program's empty slots
+/// are exactly the chop-remainder padding the layout demands — no dangling
+/// holes beyond it.
+pub fn v0_coverage(t: &Target, out: &mut Vec<Finding>) {
+    let db = t.program.db_size();
+    let mut appearances = vec![0usize; db];
+    for disk in &t.disks {
+        for p in disk {
+            appearances[p.index()] += 1;
+        }
+    }
+    for p in &t.non_broadcast {
+        appearances[p.index()] += 1;
+    }
+    for (page, &n) in appearances.iter().enumerate() {
+        let ok = if t.require_total_coverage {
+            n == 1
+        } else {
+            n <= 1
+        };
+        if !ok {
+            out.push(finding(
+                t,
+                "V0",
+                format!(
+                    "page p{page} appears {n} times across disks + chop list; \
+                     every database page must be assigned exactly once"
+                ),
+            ));
+        }
+    }
+    for (d, disk) in t.disks.iter().enumerate() {
+        for &p in disk {
+            if !t.program.contains(p) {
+                out.push(finding(
+                    t,
+                    "V0",
+                    format!("disk {d} assigns {p} but the program never broadcasts it"),
+                ));
+            }
+        }
+    }
+    for &p in &t.non_broadcast {
+        if t.program.contains(p) {
+            out.push(finding(
+                t,
+                "V0",
+                format!("{p} was chopped off the broadcast but still appears in the program"),
+            ));
+        }
+    }
+    // Padding is judged only when the declared layout and the program
+    // agree on the cycle geometry — when they disagree, the declared
+    // frequencies are not the broadcast frequencies, which is V2's finding.
+    let (expected, declared_major) = expected_layout(&t.disks, &t.rel_freqs);
+    if declared_major == t.program.major_cycle() {
+        let actual = t
+            .program
+            .slots()
+            .iter()
+            .filter(|&&s| s == Slot::Empty)
+            .count();
+        if actual != expected {
+            out.push(finding(
+                t,
+                "V0",
+                format!(
+                    "program carries {actual} empty slots but the chop remainder \
+                     accounts for exactly {expected}"
+                ),
+            ));
+        }
+    }
+}
+
+/// V1 — spacing regularity. The paper proves that for a fixed per-page
+/// bandwidth share, *equal* inter-instance spacing minimizes expected wait
+/// (\[Acha95a\] §3); the generator achieves it exactly, because every chunk
+/// occupies a fixed position within its minor cycle. Any page whose
+/// circular inter-occurrence gaps are not all identical is a pessimization.
+pub fn v1_spacing(t: &Target, out: &mut Vec<Finding>) {
+    let m = t.program.major_cycle();
+    if m == 0 {
+        return;
+    }
+    // Occurrences re-derived from the raw slot array, independent of the
+    // program's occurrence index (V4 cross-checks that index separately).
+    let mut occ: Vec<Vec<usize>> = vec![Vec::new(); t.program.db_size()];
+    for (i, s) in t.program.slots().iter().enumerate() {
+        if let Slot::Page(p) = s {
+            occ[p.index()].push(i);
+        }
+    }
+    for (page, o) in occ.iter().enumerate() {
+        if o.len() < 2 {
+            continue; // a single occurrence has one circular gap: regular
+        }
+        let mut min_gap = usize::MAX;
+        let mut max_gap = 0usize;
+        for (i, &cur) in o.iter().enumerate() {
+            let next = if i + 1 < o.len() { o[i + 1] } else { o[0] + m };
+            let gap = next - cur;
+            min_gap = min_gap.min(gap);
+            max_gap = max_gap.max(gap);
+        }
+        if min_gap != max_gap {
+            out.push(finding(
+                t,
+                "V1",
+                format!(
+                    "page p{page} is spaced irregularly: inter-instance gaps range \
+                     {min_gap}..{max_gap} slots; unequal spacing strictly increases \
+                     expected wait at fixed frequency"
+                ),
+            ));
+        }
+    }
+}
+
+/// V2 — square-root rule. Broadcast bandwidth is allocated optimally when
+/// each item's frequency is proportional to the square root of its access
+/// probability, so for consecutive disks the frequency ratio should track
+/// `sqrt(mean weight ratio)` within [`V2_SLACK`]. Cached pages are masked
+/// out (their broadcasts serve only cache misses). Also demands the
+/// declared frequencies be non-increasing fastest-first.
+pub fn v2_sqrt_rule(t: &Target, out: &mut Vec<Finding>) {
+    if t.disks.len() != t.rel_freqs.len() {
+        out.push(finding(
+            t,
+            "V2",
+            format!(
+                "assignment lists {} disks but {} relative frequencies",
+                t.disks.len(),
+                t.rel_freqs.len()
+            ),
+        ));
+        return;
+    }
+    // The declared frequencies must first be the *actual* broadcast
+    // frequencies: every page a disk carries that is on the air at all must
+    // appear exactly `rel_freq` times per major cycle. Pages absent from
+    // the broadcast entirely are V0's finding, not V2's.
+    for (d, (disk, &f)) in t.disks.iter().zip(&t.rel_freqs).enumerate() {
+        let off: Vec<&PageId> = disk
+            .iter()
+            .filter(|p| {
+                let obs = t.program.frequency(**p);
+                obs > 0 && obs != f as usize
+            })
+            .collect();
+        if let Some(p) = off.first() {
+            out.push(finding(
+                t,
+                "V2",
+                format!(
+                    "disk {d} declares relative frequency {f} but {} of its pages \
+                     broadcast at another rate (e.g. {p} appears {} times per cycle)",
+                    off.len(),
+                    t.program.frequency(**p)
+                ),
+            ));
+        }
+    }
+    let mut is_cached = vec![false; t.program.db_size()];
+    for p in &t.cached {
+        is_cached[p.index()] = true;
+    }
+    // Live disks with their cache-masked mean access weight.
+    let live: Vec<(usize, f64, f64)> = t
+        .disks
+        .iter()
+        .zip(&t.rel_freqs)
+        .enumerate()
+        .filter(|(_, (d, _))| !d.is_empty())
+        .map(|(i, (d, &f))| {
+            let mass: f64 = d
+                .iter()
+                .map(|p| {
+                    if is_cached[p.index()] {
+                        0.0
+                    } else {
+                        t.weights[p.index()]
+                    }
+                })
+                .sum();
+            (i, f64::from(f), mass / d.len() as f64)
+        })
+        .collect();
+    for pair in live.windows(2) {
+        let (fast, f_fast, w_fast) = pair[0];
+        let (slow, f_slow, w_slow) = pair[1];
+        if f_slow > f_fast {
+            out.push(finding(
+                t,
+                "V2",
+                format!(
+                    "disk {slow} spins at frequency {f_slow} above faster-ranked \
+                     disk {fast} at {f_fast}; frequencies must be non-increasing"
+                ),
+            ));
+            continue;
+        }
+        if w_fast <= 0.0 || w_slow <= 0.0 {
+            continue; // a fully cached or weightless disk pins no ratio
+        }
+        let ratio = f_fast / f_slow;
+        let ideal = (w_fast / w_slow).sqrt();
+        if ratio > ideal * V2_SLACK || ratio * V2_SLACK < ideal {
+            out.push(finding(
+                t,
+                "V2",
+                format!(
+                    "disks {fast}/{slow} spin at frequency ratio {ratio:.2} but the \
+                     square-root rule on their mean access weights wants {ideal:.2} \
+                     (tolerated slack x{V2_SLACK})"
+                ),
+            ));
+        }
+    }
+}
+
+/// V3 — index coherence. Every declared index offset must begin a real
+/// index segment of exactly `index_size` slots, segments must not overlap,
+/// no index slot may float outside a declared segment, the data slots must
+/// reconstruct the underlying program in order, and consecutive offsets
+/// must sit within one data chunk of each other so a client never waits
+/// more than `ceil(data/m) + index_size` slots for the next index.
+pub fn v3_index(t: &Target, out: &mut Vec<Finding>) {
+    let Some(v) = &t.index else { return };
+    let total = v.slots.len();
+    let sz = v.index_size;
+    for pair in v.starts.windows(2) {
+        if pair[1] < pair[0] + sz {
+            out.push(finding(
+                t,
+                "V3",
+                format!(
+                    "index offsets {} and {} overlap or are out of order \
+                     (segment length {sz})",
+                    pair[0], pair[1]
+                ),
+            ));
+        }
+    }
+    let mut covered = vec![false; total];
+    for &s in &v.starts {
+        if s + sz > total {
+            out.push(finding(
+                t,
+                "V3",
+                format!("index offset {s} + segment length {sz} runs past the cycle ({total})"),
+            ));
+            continue;
+        }
+        for (off, flag) in covered.iter_mut().enumerate().take(s + sz).skip(s) {
+            *flag = true;
+            if !matches!(v.slots[off], IndexedSlot::Index) {
+                out.push(finding(
+                    t,
+                    "V3",
+                    format!(
+                        "declared index offset {s} does not resolve to an index \
+                         segment: slot {off} carries data"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    for (i, s) in v.slots.iter().enumerate() {
+        if matches!(s, IndexedSlot::Index) && !covered[i] {
+            out.push(finding(
+                t,
+                "V3",
+                format!("index slot {i} lies outside every declared segment"),
+            ));
+        }
+    }
+    let data: Vec<Slot> = v
+        .slots
+        .iter()
+        .filter_map(|s| match s {
+            IndexedSlot::Data(d) => Some(*d),
+            IndexedSlot::Index => None,
+        })
+        .collect();
+    if data != t.program.slots() {
+        out.push(finding(
+            t,
+            "V3",
+            format!(
+                "stripping index slots yields {} data slots that do not reconstruct \
+                 the {}-slot program in order",
+                data.len(),
+                t.program.major_cycle()
+            ),
+        ));
+    }
+    if !v.starts.is_empty() && !data.is_empty() {
+        let chunk = data.len().div_ceil(v.starts.len());
+        for (i, &cur) in v.starts.iter().enumerate() {
+            let next = if i + 1 < v.starts.len() {
+                v.starts[i + 1]
+            } else {
+                v.starts[0] + total
+            };
+            let gap = next - cur;
+            if gap > chunk + sz {
+                out.push(finding(
+                    t,
+                    "V3",
+                    format!(
+                        "index segments unevenly spread: {gap} slots separate offsets \
+                         {cur} and {} but one data chunk plus a segment is {}",
+                        next % total,
+                        chunk + sz
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// V4 — bandwidth accounting. The occurrence index and the raw slot array
+/// must agree on how many slots carry pages (two independently maintained
+/// structures), the pull share must be a valid probability, and the
+/// program's emptiness must match the algorithm's declared split: Pure-Pull
+/// reserves the whole channel for pulls (empty program, `PullBW` 1), while
+/// a push algorithm with assigned pages must actually emit them.
+pub fn v4_bandwidth(t: &Target, out: &mut Vec<Finding>) {
+    let m = t.program.major_cycle();
+    let scan_pages = t
+        .program
+        .slots()
+        .iter()
+        .filter(|s| matches!(s, Slot::Page(_)))
+        .count();
+    let index_pages: usize = (0..t.program.db_size())
+        .map(|i| t.program.frequency(PageId(i as u32)))
+        .sum();
+    if scan_pages != index_pages {
+        out.push(finding(
+            t,
+            "V4",
+            format!(
+                "occurrence index accounts for {index_pages} page slots but the \
+                 schedule carries {scan_pages}"
+            ),
+        ));
+    }
+    if !(0.0..=1.0).contains(&t.pull_bw) {
+        out.push(finding(
+            t,
+            "V4",
+            format!("pull bandwidth share {} lies outside [0, 1]", t.pull_bw),
+        ));
+    }
+    let has_assigned = t.disks.iter().any(|d| !d.is_empty());
+    if t.expect_empty {
+        if m > 0 {
+            out.push(finding(
+                t,
+                "V4",
+                format!(
+                    "Pure-Pull reserves the whole channel for pulls but the program \
+                     still schedules {m} push slots"
+                ),
+            ));
+        }
+        if t.pull_bw < 1.0 {
+            out.push(finding(
+                t,
+                "V4",
+                format!(
+                    "Pure-Pull must hand pulls the full bandwidth but PullBW is {}",
+                    t.pull_bw
+                ),
+            ));
+        }
+    } else if has_assigned && m == 0 {
+        out.push(finding(
+            t,
+            "V4",
+            format!(
+                "assignment places pages on disks but the program is empty — the \
+                 configured push share {} is never used",
+                1.0 - t.pull_bw
+            ),
+        ));
+    }
+}
+
+/// V5 — analytic cross-check. The probability-weighted expected wait is
+/// derived two independent ways from slot positions alone — a brute-force
+/// average of `slots_until` over every cursor (the binary-search wraparound
+/// path) and the per-gap closed form `sum g(g+1)/2 / M` — and, when the
+/// target carries one, compared against the external
+/// `analytic::push_response` value. Both internal sides are exact integer
+/// sums, so they must agree to float rounding.
+pub fn v5_analytic(t: &Target, out: &mut Vec<Finding>) {
+    let m = t.program.major_cycle();
+    let mut is_cached = vec![false; t.program.db_size()];
+    for p in &t.cached {
+        is_cached[p.index()] = true;
+    }
+    let mut brute = 0.0f64;
+    let mut gap_form = 0.0f64;
+    for (page, &cached) in is_cached.iter().enumerate() {
+        if cached {
+            continue;
+        }
+        let pid = PageId(page as u32);
+        let Some(expect) = t.program.expected_slots(pid) else {
+            continue; // pull-only page: no push wait on either side
+        };
+        let w = t.weights[page];
+        gap_form += w * expect;
+        let total: u64 = (0..m)
+            .map(|c| t.program.slots_until_present(pid, c) as u64)
+            .sum();
+        brute += w * (total as f64 / m as f64);
+    }
+    let close = |a: f64, b: f64| {
+        let scale = a.abs().max(b.abs());
+        scale < 1e-12 || (a - b).abs() <= V5_REL_TOL * scale
+    };
+    if !close(brute, gap_form) {
+        out.push(finding(
+            t,
+            "V5",
+            format!(
+                "slot-position brute force expects {brute:.6} slots of wait but the \
+                 per-gap closed form expects {gap_form:.6}"
+            ),
+        ));
+    }
+    if let Some(external) = t.closed_form {
+        if !close(brute, external) {
+            out.push(finding(
+                t,
+                "V5",
+                format!(
+                    "schedule-derived expected wait {brute:.6} disagrees with \
+                     analytic::push_response {external:.6}"
+                ),
+            ));
+        }
+    }
+}
+
+/// V6 — K-channel conflict freedom. No client access set may need two
+/// different pages that fly in the same aligned slot on different channels
+/// (a single-tuner client must miss one and wait a full extra cycle). On
+/// the default single-channel layout this is vacuously clean; it is the
+/// precheck for multi-channel layouts.
+pub fn v6_conflicts(t: &Target, out: &mut Vec<Finding>) {
+    for c in t.channels.conflicts(&t.access_sets) {
+        let (ch_a, p_a) = c.first;
+        let (ch_b, p_b) = c.second;
+        out.push(finding(
+            t,
+            "V6",
+            format!(
+                "access set {} needs {p_a} (channel {ch_a}) and {p_b} (channel \
+                 {ch_b}) which share aligned slot {}; a single-tuner client must \
+                 miss one",
+                c.set, c.slot
+            ),
+        ));
+    }
+}

@@ -82,6 +82,18 @@ cargo fmt --check
 ./target/release/chaos --smoke | cmp - results/chaos_smoke.json \
     || { echo "ci: chaos smoke report diverged from results/chaos_smoke.json" >&2; exit 1; }
 
+# Static program verification: rules V0-V6 over every experiment-grid
+# configuration of the paper system must raise nothing (--deny exits 1 on
+# any finding and prints the report).
+./target/release/verify --deny \
+    || { echo "ci: bpp-verify found broadcast-program violations" >&2; exit 1; }
+
+# Verifier report drift guard: the small-system grid report must reproduce
+# the committed schema-v1 JSON byte for byte, so rule/message/schema
+# changes are always an intentional golden regeneration.
+./target/release/verify --smoke | cmp - results/verify_smoke.json \
+    || { echo "ci: verify smoke report diverged from results/verify_smoke.json" >&2; exit 1; }
+
 # Micro-benchmarks are opt-in (BPP_BENCH=1): wall-clock noise has no place
 # in the default gate, but the engine/obs hot paths can be tracked on
 # demand. `cargo bench` runs from the package root, so the BENCH_*.json
