@@ -42,7 +42,7 @@ pub use analysis::{expected_delay_by_page, ProgramAnalysis};
 pub use assignment::{Assignment, DiskSpec};
 pub use design::{design_disks, square_root_frequencies, DiskDesign};
 pub use indexing::{optimal_m, IndexedProgram, IndexedSlot};
-pub use multichannel::{ChannelConflict, MultiChannelProgram};
+pub use multichannel::{hot_access_sets, ChannelConflict, MultiChannelProgram};
 pub use program::{BroadcastProgram, Slot};
 
 /// Identifier of a database page. Pages are dense indexes `0..ServerDBSize`.

@@ -301,8 +301,17 @@ pub(crate) fn gcd(a: u64, b: u64) -> u64 {
     }
 }
 
+/// Least common multiple, reporting overflow instead of silently wrapping.
+/// `None` means the true LCM does not fit in a `u64`.
+pub(crate) fn checked_lcm(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
 pub(crate) fn lcm(a: u64, b: u64) -> u64 {
-    a / gcd(a, b) * b
+    checked_lcm(a, b).expect("lcm overflows u64") // bpp-lint: allow(D3): chunk-count folds over disk frequencies are tiny; overflow here means a nonsensical spec and must not wrap silently
 }
 
 #[cfg(test)]
@@ -545,5 +554,20 @@ mod tests {
         assert_eq!(lcm(3, 2), 6);
         assert_eq!(lcm(1, 1), 1);
         assert_eq!([4u64, 2, 1].iter().copied().fold(1, lcm), 4);
+    }
+
+    #[test]
+    fn checked_lcm_reports_overflow() {
+        assert_eq!(checked_lcm(3, 2), Some(6));
+        assert_eq!(checked_lcm(0, 5), Some(0));
+        // Consecutive integers are coprime, so the true LCM is their
+        // product — far past u64::MAX.
+        assert_eq!(checked_lcm(u64::MAX, u64::MAX - 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lcm overflows u64")]
+    fn unchecked_lcm_panics_on_overflow() {
+        lcm(u64::MAX, u64::MAX - 1);
     }
 }

@@ -133,6 +133,9 @@ pub struct ClientArena {
     retry: Vec<RetryState>,
     /// Generation counter invalidating timers of completed accesses.
     retry_gen: Vec<u32>,
+    /// Channel the client is tuned to while blocked (`NONE` = thinking or
+    /// single-channel mode). Written only by the K-channel wake path.
+    tuned: Vec<u32>,
     // --- Fleet-wide statistics. ---
     stats: FleetStats,
     flow: Welford,
@@ -198,6 +201,7 @@ impl ClientArena {
             waiters_next: vec![NONE; n],
             retry: vec![RetryState::default(); n],
             retry_gen: vec![0; n],
+            tuned: vec![NONE; n],
             stats: FleetStats::default(),
             flow: Welford::new(),
             // Same geometry as the MC response histogram: 4-unit bins out
@@ -278,6 +282,79 @@ impl ClientArena {
         WakeOutcome::Miss { page, send_request }
     }
 
+    /// [`wake`](Self::wake) against a K-channel placement: on a miss the
+    /// client tunes to the channel minimizing its expected wait
+    /// ([`crate::tuning::best_channel`]; the deterministic
+    /// [`crate::tuning::fallback_channel`] shard for pull-only pages, so
+    /// every requester of a page agrees on where its response will fly).
+    /// The threshold verdict is made on the tuned channel's schedule with
+    /// the matching per-channel filter and cursor; pull-only misses always
+    /// request. The tuned channel is retained until the access completes
+    /// (query it with [`tuned_channel`](Self::tuned_channel)) so retry
+    /// resends target the same shard.
+    ///
+    /// Consumes exactly the same variates as [`wake`](Self::wake): one
+    /// pattern draw per access, one think draw per hit.
+    ///
+    /// # Panics
+    /// If `cursors`/`filters` are not one per channel.
+    pub fn wake_tuned<R: Rng + ?Sized>(
+        &mut self,
+        client: u32,
+        now: f64,
+        channels: &bpp_broadcast::MultiChannelProgram,
+        cursors: &[usize],
+        filters: &[ThresholdFilter],
+        rng: &mut R,
+    ) -> WakeOutcome {
+        assert_eq!(
+            cursors.len(),
+            channels.num_channels(),
+            "one cursor per channel"
+        );
+        assert_eq!(
+            filters.len(),
+            channels.num_channels(),
+            "one filter per channel"
+        );
+        let c = client as usize;
+        debug_assert_eq!(self.waiting_page[c], NONE, "wake of a blocked client");
+        self.stats.accesses += 1;
+        let item = self.pattern.sample(rng);
+        if self.cached(c, item) {
+            self.stats.hits += 1;
+            return WakeOutcome::Hit {
+                next_wake: now + self.think.sample(rng),
+            };
+        }
+        self.waiting_page[c] = item as u32;
+        self.waiting_since[c] = now;
+        self.waiters_next[c] = self.waiters_head[item];
+        self.waiters_head[item] = client;
+        let page = PageId(item as u32);
+        let best = crate::tuning::best_channel(channels, cursors, page);
+        let tuned =
+            best.unwrap_or_else(|| crate::tuning::fallback_channel(page, channels.num_channels()));
+        self.tuned[c] = tuned as u32;
+        let send_request = match best {
+            Some(k) => filters[k].should_request(channels.channel(k), page, cursors[k]),
+            None => true,
+        };
+        if send_request {
+            self.stats.requests_sent += 1;
+        } else {
+            self.stats.requests_filtered += 1;
+        }
+        WakeOutcome::Miss { page, send_request }
+    }
+
+    /// The channel `client` is tuned to while blocked (`None` while
+    /// thinking, or when the fleet runs single-channel).
+    pub fn tuned_channel(&self, client: u32) -> Option<usize> {
+        let t = self.tuned[client as usize];
+        (t != NONE).then_some(t as usize)
+    }
+
     /// A page finished transmission at `now`: complete every client
     /// blocked on it in one pass and return `(client, next_wake)` pairs
     /// for the caller to schedule. The returned slice is a reused internal
@@ -305,6 +382,7 @@ impl ClientArena {
             self.stats.completed += 1;
             self.insert(ci, item);
             self.waiting_page[ci] = NONE;
+            self.tuned[ci] = NONE;
             // Invalidate any retry timer armed for this access.
             self.retry_gen[ci] = self.retry_gen[ci].wrapping_add(1);
             self.wake_buf.push((c, now + self.think.sample(rng)));
@@ -543,6 +621,85 @@ mod tests {
         // Delivery completes the access and bumps the generation.
         a.deliver(page, 1.0, &mut rng);
         assert_ne!(a.retry_gen(0), gen, "completion must invalidate timers");
+    }
+
+    #[test]
+    fn tuned_wakes_draw_like_plain_wakes_and_record_channels() {
+        use bpp_broadcast::MultiChannelProgram;
+        let p = program();
+        let band = |lo: u32, hi: u32| {
+            let pages: Vec<PageId> = (lo..hi).map(PageId).collect();
+            let spec = DiskSpec::flat(pages.len());
+            let a = Assignment::from_ranking(&pages, &spec);
+            BroadcastProgram::generate(&a, DB)
+        };
+        let channels = MultiChannelProgram::from_channels(vec![band(0, 10), band(10, 20)]);
+        let filters = vec![ThresholdFilter::pass_all(), ThresholdFilter::pass_all()];
+        let mut plain = arena(8, 0);
+        let mut tuned = arena(8, 0);
+        let mut r1 = Xoshiro256pp::seed_from_u64(21);
+        let mut r2 = Xoshiro256pp::seed_from_u64(21);
+        for round in 0..20 {
+            for c in 0..8u32 {
+                let now = round as f64;
+                let oa = plain.wake(c, now, &p, 0, &mut r1);
+                let ob = tuned.wake_tuned(c, now, &channels, &[0, 0], &filters, &mut r2);
+                match (oa, ob) {
+                    (WakeOutcome::Miss { page: pa, .. }, WakeOutcome::Miss { page: pb, .. }) => {
+                        assert_eq!(pa, pb);
+                        let k = tuned.tuned_channel(c).expect("blocked client is tuned");
+                        assert!(channels.channel(k).contains(pb));
+                        plain.deliver(pa, now + 1.0, &mut r1);
+                        tuned.deliver(pb, now + 1.0, &mut r2);
+                        assert_eq!(tuned.tuned_channel(c), None, "completion re-tunes");
+                    }
+                    (WakeOutcome::Hit { next_wake: wa }, WakeOutcome::Hit { next_wake: wb }) => {
+                        assert_eq!(wa, wb)
+                    }
+                    _ => panic!("plain and tuned wakes diverged"),
+                }
+            }
+        }
+        assert_eq!(r1.next_u64(), r2.next_u64(), "streams desynchronized");
+    }
+
+    #[test]
+    fn pull_only_misses_fall_back_to_a_per_page_shard_and_always_request() {
+        use bpp_broadcast::MultiChannelProgram;
+        // Channels only air pages 0..10; 10..20 are pull-only everywhere.
+        let band = |lo: u32, hi: u32| {
+            let pages: Vec<PageId> = (lo..hi).map(PageId).collect();
+            let spec = DiskSpec::flat(pages.len());
+            let a = Assignment::from_ranking(&pages, &spec);
+            BroadcastProgram::generate(&a, DB)
+        };
+        let channels = MultiChannelProgram::from_channels(vec![band(0, 5), band(5, 10)]);
+        // Full-cycle filters: on-air misses are filtered, pull-only never.
+        let filters: Vec<ThresholdFilter> = (0..2)
+            .map(|k| ThresholdFilter::from_percentage(1.0, channels.channel(k).major_cycle()))
+            .collect();
+        let mut a = arena(1, 0);
+        let mut rng = Xoshiro256pp::seed_from_u64(33);
+        let mut saw_pull_only = false;
+        for round in 0..400 {
+            let out = a.wake_tuned(0, round as f64, &channels, &[0, 0], &filters, &mut rng);
+            let WakeOutcome::Miss { page, send_request } = out else {
+                continue;
+            };
+            if page.index() >= 10 {
+                saw_pull_only = true;
+                assert!(send_request, "pull-only miss must use the backchannel");
+                assert_eq!(
+                    a.tuned_channel(0),
+                    Some(page.index() % 2),
+                    "fallback shard is per-page deterministic"
+                );
+            } else {
+                assert!(!send_request, "on-air page under a full filter");
+            }
+            a.deliver(page, round as f64 + 0.5, &mut rng);
+        }
+        assert!(saw_pull_only, "the workload never drew a pull-only page");
     }
 
     #[test]

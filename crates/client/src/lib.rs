@@ -26,6 +26,7 @@ pub mod arena;
 pub mod measured;
 pub mod retry;
 pub mod threshold;
+pub mod tuning;
 pub mod virtual_client;
 pub mod warmup;
 
@@ -47,5 +48,6 @@ pub use arena::{ClientArena, FleetStats, WakeOutcome};
 pub use measured::{BeginOutcome, McStats, MeasuredClient};
 pub use retry::{RetryPolicy, RetryState};
 pub use threshold::ThresholdFilter;
+pub use tuning::{best_channel, fallback_channel};
 pub use virtual_client::{VcAccess, VirtualClient};
 pub use warmup::WarmupTracker;

@@ -181,6 +181,64 @@ impl MeasuredClient {
         BeginOutcome::Miss { page, send_request }
     }
 
+    /// [`begin_access`](Self::begin_access) against a K-channel placement:
+    /// on a miss the client tunes to the channel minimizing its expected
+    /// wait ([`crate::tuning::best_channel`]) and the threshold decision is
+    /// made on *that* channel's schedule with the matching per-channel
+    /// filter and cursor. Returns the outcome plus the tuned channel
+    /// (`None` on a hit, or when no channel airs the page — the caller
+    /// falls back to [`crate::tuning::fallback_channel`] for the request
+    /// shard, and a pull-only miss always sends a request).
+    ///
+    /// Consumes exactly the same variates as
+    /// [`begin_access`](Self::begin_access): one pattern draw per access,
+    /// so single- and multi-channel runs stay stream-aligned.
+    ///
+    /// # Panics
+    /// If the client is already blocked on a page, or `cursors`/`filters`
+    /// are not one per channel.
+    pub fn begin_access_tuned<R: Rng + ?Sized>(
+        &mut self,
+        now: Time,
+        channels: &bpp_broadcast::MultiChannelProgram,
+        cursors: &[usize],
+        filters: &[ThresholdFilter],
+        rng: &mut R,
+    ) -> (BeginOutcome, Option<usize>) {
+        assert!(
+            matches!(self.state, State::Idle),
+            "begin_access while already waiting"
+        );
+        assert_eq!(
+            cursors.len(),
+            channels.num_channels(),
+            "one cursor per channel"
+        );
+        assert_eq!(
+            filters.len(),
+            channels.num_channels(),
+            "one filter per channel"
+        );
+        self.stats.accesses += 1;
+        let item = self.pattern.sample(rng);
+        let page = PageId(item as u32);
+        if self.cache.lookup(item) {
+            self.stats.hits += 1;
+            return (BeginOutcome::Hit { page }, None);
+        }
+        self.stats.misses += 1;
+        let tuned = crate::tuning::best_channel(channels, cursors, page);
+        let send_request = match tuned {
+            Some(k) => filters[k].should_request(channels.channel(k), page, cursors[k]),
+            None => true,
+        };
+        if send_request {
+            self.stats.requests_sent += 1;
+        }
+        self.state = State::Waiting { page, since: now };
+        (BeginOutcome::Miss { page, send_request }, tuned)
+    }
+
     /// A page was heard on the frontchannel. If the client was blocked on
     /// it, the access completes: returns the response time (now − request
     /// time) and inserts the page into the cache.
@@ -377,6 +435,45 @@ mod tests {
         assert_eq!(s.hits + s.misses, 100);
         assert_eq!(s.completed, s.misses);
         assert_eq!(s.requests_filtered(), s.misses - s.requests_sent);
+    }
+
+    #[test]
+    fn tuned_access_draws_like_the_plain_path() {
+        use bpp_broadcast::MultiChannelProgram;
+        // Two identical clients on identical RNG streams: one accesses the
+        // single-channel program, the other a 2-channel split of the same
+        // universe. Pages drawn, stream positions, and outcomes agree; the
+        // tuned client additionally reports the channel airing its page.
+        let (mut plain, program) = setup(0, 0.0);
+        let (mut tuned, _) = setup(0, 0.0);
+        let band = |lo: u32, hi: u32| {
+            let pages: Vec<PageId> = (lo..hi).map(PageId).collect();
+            let spec = DiskSpec::flat(pages.len());
+            let a = Assignment::from_ranking(&pages, &spec);
+            BroadcastProgram::generate(&a, 7)
+        };
+        let channels = MultiChannelProgram::from_channels(vec![band(0, 4), band(4, 7)]);
+        let filters = vec![ThresholdFilter::pass_all(), ThresholdFilter::pass_all()];
+        let mut r1 = Xoshiro256pp::seed_from_u64(9);
+        let mut r2 = Xoshiro256pp::seed_from_u64(9);
+        for _ in 0..50 {
+            let out_a = plain.begin_access(0.0, &program, 0, &mut r1);
+            let (out_b, ch) = tuned.begin_access_tuned(0.0, &channels, &[0, 0], &filters, &mut r2);
+            match (out_a, out_b) {
+                (BeginOutcome::Miss { page: pa, .. }, BeginOutcome::Miss { page: pb, .. }) => {
+                    assert_eq!(pa, pb);
+                    let k = ch.expect("every page is on some channel");
+                    assert!(channels.channel(k).contains(pb));
+                    plain.on_broadcast(0.0, pa);
+                    tuned.on_broadcast(0.0, pb);
+                }
+                (BeginOutcome::Hit { page: pa }, BeginOutcome::Hit { page: pb }) => {
+                    assert_eq!(pa, pb)
+                }
+                _ => panic!("plain and tuned paths diverged"),
+            }
+        }
+        assert_eq!(r1.next_u64(), r2.next_u64(), "streams desynchronized");
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Channel-tuning policy for K-channel broadcast.
+//!
+//! A mobile client listens to **one** channel at a time. When an access
+//! misses the cache, the client picks the channel that minimizes its
+//! expected wait for the missed page and stays tuned there until the page
+//! arrives (or a retry forces a re-tune). Because the K-channel generator
+//! confines every access set to one channel, the tuned channel always
+//! carries everything the client needs next — the conflict-freedom
+//! property bpp-verify rule V6 checks statically.
+
+use bpp_broadcast::{MultiChannelProgram, PageId};
+
+/// The channel a single-tuner client should listen to while waiting for
+/// `page`: among the channels airing the page, the one whose next
+/// occurrence is soonest from its cursor ([`BroadcastProgram::slots_until`]
+/// with per-channel `cursors`), breaking ties by smaller long-run expected
+/// wait ([`BroadcastProgram::expected_slots`]) and then by lowest channel
+/// index. Returns `None` when no channel airs the page (pull-only
+/// everywhere); callers then fall back to [`fallback_channel`].
+///
+/// [`BroadcastProgram::slots_until`]: bpp_broadcast::BroadcastProgram::slots_until
+/// [`BroadcastProgram::expected_slots`]: bpp_broadcast::BroadcastProgram::expected_slots
+pub fn best_channel(
+    channels: &MultiChannelProgram,
+    cursors: &[usize],
+    page: PageId,
+) -> Option<usize> {
+    let mut best: Option<(usize, usize, f64)> = None;
+    for (k, &cursor) in cursors.iter().enumerate().take(channels.num_channels()) {
+        let prog = channels.channel(k);
+        let Some(until) = prog.slots_until(page, cursor) else {
+            continue;
+        };
+        let expected = prog.expected_slots(page).unwrap_or(f64::INFINITY);
+        let better = match best {
+            None => true,
+            Some((_, b_until, b_expected)) => {
+                until < b_until || (until == b_until && expected < b_expected)
+            }
+        };
+        if better {
+            best = Some((k, until, expected));
+        }
+    }
+    best.map(|(k, _, _)| k)
+}
+
+/// Deterministic shard for pages no channel airs (pull-only): every
+/// requester of one page must agree on a channel, so the single pull
+/// response slot reaches all of the page's waiters.
+pub fn fallback_channel(page: PageId, num_channels: usize) -> usize {
+    page.index() % num_channels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpp_broadcast::{Assignment, BroadcastProgram, DiskSpec};
+
+    fn band(db: usize, lo: u32, hi: u32) -> BroadcastProgram {
+        let pages: Vec<PageId> = (lo..hi).map(PageId).collect();
+        let spec = DiskSpec::flat(pages.len());
+        let a = Assignment::from_ranking(&pages, &spec);
+        BroadcastProgram::generate(&a, db)
+    }
+
+    #[test]
+    fn tunes_to_the_only_channel_airing_the_page() {
+        let mc = MultiChannelProgram::from_channels(vec![band(10, 0, 5), band(10, 5, 10)]);
+        assert_eq!(best_channel(&mc, &[0, 0], PageId(7)), Some(1));
+        assert_eq!(best_channel(&mc, &[0, 0], PageId(2)), Some(0));
+    }
+
+    #[test]
+    fn prefers_the_sooner_copy_of_a_duplicated_page() {
+        // Both channels air page 3 (period 5); cursors decide which copy
+        // comes up first.
+        let mc = MultiChannelProgram::from_channels(vec![band(10, 0, 5), band(10, 0, 5)]);
+        // Channel 0 is at slot 3 (page 3 next), channel 1 just passed it.
+        assert_eq!(best_channel(&mc, &[3, 4], PageId(3)), Some(0));
+        assert_eq!(best_channel(&mc, &[4, 3], PageId(3)), Some(1));
+        // Exact tie: lowest channel wins (equal expected waits).
+        assert_eq!(best_channel(&mc, &[0, 0], PageId(3)), Some(0));
+    }
+
+    #[test]
+    fn tie_on_distance_breaks_by_expected_wait() {
+        // Page 0 on a fast cycle (period 2) on channel 0 and a slow cycle
+        // (period 4) on channel 1: same distance from aligned cursors, but
+        // channel 0's long-run expected wait is smaller.
+        let fast = {
+            let pages = vec![PageId(0), PageId(1)];
+            let a = Assignment::from_ranking(&pages, &DiskSpec::flat(2));
+            BroadcastProgram::generate(&a, 4)
+        };
+        let slow = {
+            let pages = vec![PageId(0), PageId(2), PageId(3), PageId(1)];
+            let a = Assignment::from_ranking(&pages, &DiskSpec::flat(4));
+            BroadcastProgram::generate(&a, 4)
+        };
+        assert_eq!(best_channel(&mc2(fast, slow), &[0, 0], PageId(0)), Some(0));
+    }
+
+    fn mc2(a: BroadcastProgram, b: BroadcastProgram) -> MultiChannelProgram {
+        MultiChannelProgram::from_channels(vec![a, b])
+    }
+
+    #[test]
+    fn pull_only_pages_have_no_channel_and_a_stable_fallback() {
+        let mc = MultiChannelProgram::from_channels(vec![band(10, 0, 4), band(10, 4, 8)]);
+        assert_eq!(best_channel(&mc, &[0, 0], PageId(9)), None);
+        assert_eq!(fallback_channel(PageId(9), 2), 1);
+        assert_eq!(fallback_channel(PageId(8), 2), 0);
+    }
+}

@@ -22,7 +22,6 @@ use crate::fault::ConservationLedger;
 use crate::runner::{collect_steady_state, SteadyStateResult};
 use crate::simulation::{Phase, World};
 use bpp_json::{field, opt_field, FromJson, Json, JsonError, ToJson};
-use bpp_sim::approx::exactly_zero;
 use bpp_sim::Confidence;
 
 /// One segment of a chaos timeline.
@@ -248,11 +247,14 @@ pub fn run_chaos(
         .any(|p| p.brownout_period > 0.0 && p.brownout_duration > 0.0);
     cfg.fault.broadcast_loss = cfg.fault.broadcast_loss.max(max_b);
     cfg.fault.request_loss = cfg.fault.request_loss.max(max_r);
-    if has_brownouts && exactly_zero(cfg.fault.brownout_period) {
-        // Placeholder so the channel-fault layer is constructed; the first
-        // phase transition below re-points the live window.
+    if has_brownouts && !cfg.fault.has_brownouts() {
+        // Placeholder so the channel-fault layer (and, in K-channel mode,
+        // the per-channel brownout-state timelines) is constructed; a zero
+        // duration would fail `has_brownouts()` and skip the layer
+        // entirely. The values never bite: the first phase transition
+        // below re-points the live window before any event runs.
         cfg.fault.brownout_period = schedule.total_duration();
-        cfg.fault.brownout_duration = 0.0;
+        cfg.fault.brownout_duration = schedule.total_duration();
     }
     cfg.assert_valid();
 

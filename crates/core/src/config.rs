@@ -467,6 +467,9 @@ pub enum ConfigError {
     /// `server_queue_size` is zero — the backchannel needs somewhere to
     /// queue at least one request (Pure-Push simply never enqueues).
     EmptyQueue,
+    /// `num_channels` is zero — the broadcast needs at least one channel
+    /// (`1` is the paper's single-channel system).
+    NoChannels,
     /// `update_rate` is negative or non-finite.
     InvalidUpdateRate(
         /// The offending value.
@@ -571,6 +574,7 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "zipf_theta must be finite and >= 0, got {v}")
             }
             ConfigError::EmptyQueue => write!(f, "server_queue_size must be positive"),
+            ConfigError::NoChannels => write!(f, "num_channels must be positive"),
             ConfigError::InvalidUpdateRate(v) => {
                 write!(f, "update_rate must be finite and >= 0, got {v}")
             }
@@ -751,6 +755,14 @@ pub struct SystemConfig {
     pub update_access_correlation: f64,
     /// Root seed for every random stream in the run.
     pub seed: u64,
+    /// Number of parallel broadcast channels (K-channel extension). `1`,
+    /// the default, is the paper's single channel and leaves every config
+    /// document and simulation result byte-identical to a build without
+    /// the extension. `K > 1` splits the push schedule across `K`
+    /// lock-step channels (conflict-free by construction, verified by
+    /// bpp-verify rule V6), gives clients a channel-tuning policy, and
+    /// shards the backchannel into per-channel queues.
+    pub num_channels: usize,
     /// The unreliability model (robustness extension; the paper's perfect
     /// channels are [`FaultConfig::none`], the default).
     pub fault: FaultConfig,
@@ -792,6 +804,7 @@ impl SystemConfig {
             update_rate: 0.0,
             update_access_correlation: 1.0,
             seed: 0x5EED_B0DC,
+            num_channels: 1,
             fault: FaultConfig::none(),
             obs: ObsConfig::default(),
             population: ClientPopulation::aggregate(),
@@ -910,6 +923,9 @@ impl SystemConfig {
         if self.server_queue_size == 0 {
             errs.push(ConfigError::EmptyQueue);
         }
+        if self.num_channels == 0 {
+            errs.push(ConfigError::NoChannels);
+        }
         for (field, value) in [
             ("steady_state_perc", self.steady_state_perc),
             ("noise", self.noise),
@@ -1017,6 +1033,14 @@ impl ToJson for SystemConfig {
             ),
             ("seed", self.seed.to_json()),
         ]);
+        // The K-channel member appears only when the broadcast is actually
+        // split: single-channel configs serialize byte-for-byte as they
+        // did before the extension existed.
+        if self.num_channels != 1 {
+            if let Json::Obj(members) = &mut obj {
+                members.push(("num_channels".to_string(), self.num_channels.to_json()));
+            }
+        }
         // The fault member is emitted only when the fault model deviates
         // from none(): configs that don't use it serialize byte-for-byte
         // as they did before the robustness extension existed.
@@ -1067,6 +1091,7 @@ impl FromJson for SystemConfig {
             update_rate: field(v, "update_rate")?,
             update_access_correlation: field(v, "update_access_correlation")?,
             seed: field(v, "seed")?,
+            num_channels: opt_field(v, "num_channels")?.unwrap_or(1),
             fault: opt_field(v, "fault")?.unwrap_or_default(),
             obs: opt_field(v, "obs")?.unwrap_or_default(),
             population: opt_field(v, "population")?.unwrap_or_default(),
@@ -1632,6 +1657,40 @@ mod tests {
         assert!(s.contains("\"fleet_clients\""));
         let back: SystemConfig = bpp_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn single_channel_is_invisible_in_json() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.num_channels, 1);
+        let s = bpp_json::to_string_pretty(&c);
+        assert!(
+            !s.contains("num_channels"),
+            "K=1 must serialize byte-identically to the pre-extension form"
+        );
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(back.num_channels, 1);
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn multi_channel_round_trips_through_json() {
+        let mut c = SystemConfig::small();
+        c.num_channels = 4;
+        c.validate().unwrap();
+        let s = bpp_json::to_string_pretty(&c);
+        assert!(s.contains("\"num_channels\": 4"));
+        let back: SystemConfig = bpp_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn zero_channels_is_reported() {
+        let mut c = SystemConfig::small();
+        c.num_channels = 0;
+        let errs = errors_of(&c);
+        assert_eq!(errs, vec![ConfigError::NoChannels]);
+        assert!(errs[0].to_string().contains("num_channels"));
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub const LOSS_TTR_GRID: [f64; 5] = [1.0, 10.0, 25.0, 50.0, 100.0];
 /// outage, so the admission layer's value shows at the large end.
 pub const CRASH_GRID: [usize; 3] = [100, 1_000, 10_000];
 
+/// Channel counts swept by the K-channel scenario ([`channel_sweep`]): K
+/// lock-step channels carry K-fold aggregate bandwidth, so response time
+/// must fall with K at any fixed load.
+pub const CHANNEL_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// ThinkTimeRatio points at which [`channel_sweep`] draws its curves — one
+/// series per load level, lightest first (VC intensity grows with TTR).
+pub const CHANNEL_TTR_GRID: [f64; 3] = [10.0, 50.0, 250.0];
+
 /// One labelled curve.
 #[derive(Debug, Clone)]
 pub struct Series {
@@ -763,6 +772,55 @@ pub fn crash_sweep(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
     }
 }
 
+/// K-channel scenario: sweep the channel count ([`CHANNEL_GRID`]) at a few
+/// load levels ([`CHANNEL_TTR_GRID`]), one curve per ThinkTimeRatio. Each
+/// channel carries one slot per broadcast unit, so K channels are K-fold
+/// aggregate bandwidth: the conflict-free generator splits the push
+/// schedule across channels, clients tune to the channel minimising their
+/// expected wait, and the pull service shards per channel. Mean response
+/// must fall (or stay flat once the system is idle) as K grows.
+///
+/// Operating point: IPP, PullBW 50%, no threshold, SteadyStatePerc 95% —
+/// the same cell as the robustness scenarios, so the K=1 column is
+/// directly comparable to the single-channel figures.
+pub fn channel_sweep(base: &SystemConfig, proto: &MeasurementProtocol) -> Figure {
+    let mut series = Vec::new();
+    for (s, &ttr) in CHANNEL_TTR_GRID.iter().enumerate() {
+        let configs: Vec<SystemConfig> = CHANNEL_GRID
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let mut c = base.clone();
+                c.algorithm = Algorithm::Ipp;
+                c.pull_bw = 0.5;
+                c.thres_perc = 0.0;
+                c.steady_state_perc = 0.95;
+                c.think_time_ratio = ttr;
+                c.num_channels = k;
+                c.seed = derive_seed(base.seed, (110 + s as u64) * 1000 + i as u64);
+                c
+            })
+            .collect();
+        let results = par_run(&configs, proto);
+        series.push(Series {
+            label: format!("IPP-50 TTR={ttr:.0}"),
+            points: CHANNEL_GRID
+                .iter()
+                .zip(&results)
+                .map(|(&k, r)| (k as f64, r.mean_response))
+                .collect(),
+            results,
+        });
+    }
+    Figure {
+        id: "K1".into(),
+        title: "Channel-count sweep: conflict-free K-channel broadcast, IPP PullBW=50%".into(),
+        x_label: "Broadcast Channels".into(),
+        y_label: "Response Time (Broadcast Units)".into(),
+        series,
+    }
+}
+
 /// Every broadcast-program-bearing configuration shape the figure grids
 /// run, labelled `fig<id>/<series>` — the target list of the `bpp-verify`
 /// static gate (`scripts/ci.sh` runs `verify --deny` over it).
@@ -869,6 +927,15 @@ pub fn verify_targets(base: &SystemConfig) -> Vec<(String, SystemConfig)> {
         c.think_time_ratio = 25.0;
         c.server_queue_size = 1_000;
     });
+    // K-channel scenario: every multi-channel count the sweep runs gets a
+    // verify target, so the static gate checks each generated K-channel
+    // placement (conflict rule V6 included) before the figures ship.
+    for k in CHANNEL_GRID.into_iter().filter(|&k| k > 1) {
+        push(format!("K1/IPP-ch{k}"), &|c| {
+            ipp(c, 0.5, 0.0);
+            c.num_channels = k;
+        });
+    }
     out
 }
 
@@ -881,7 +948,7 @@ mod tests {
         let targets = verify_targets(&SystemConfig::paper_default());
         for fig in [
             "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a",
-            "fig7b", "fig8", "L1", "P1", "C1",
+            "fig7b", "fig8", "L1", "P1", "C1", "K1",
         ] {
             assert!(
                 targets.iter().any(|(l, _)| l.starts_with(fig)),
@@ -921,12 +988,13 @@ mod tests {
     fn derive_seed_is_injective_over_every_experiment_tag() {
         // Tag families in use: bare literals (30, 40, 60..66, 70, 80, 81,
         // 90, 104), `50 + tag` (fig4), `tag * 1000 + i` (every sweep_ttr
-        // call, tags up to 103, plus 105 for fleet_sweep), and
-        // `(82 + k) * 1000 + i` (fig7). The range below is a superset of
-        // all of them; the old linear mix collided inside it (e.g.
-        // families `tag*1000 + i` vs. small literals).
+        // call, tags up to 103, plus 105 for fleet_sweep), `(82 + k) *
+        // 1000 + i` (fig7), `(107 + k) * 1000 + i` (crash_sweep), and
+        // `(110 + s) * 1000 + i` (channel_sweep). The range below is a
+        // superset of all of them; the old linear mix collided inside it
+        // (e.g. families `tag*1000 + i` vs. small literals).
         let mut seen = std::collections::BTreeSet::new();
-        for tag in 0..=110_000u64 {
+        for tag in 0..=120_000u64 {
             assert!(
                 seen.insert(derive_seed(0xB99_5EED, tag)),
                 "derive_seed collision at tag {tag}"
@@ -1105,6 +1173,25 @@ mod tests {
                 mttr_off.points[i].1
             );
         }
+    }
+
+    #[test]
+    fn channel_sweep_more_channels_never_hurt_under_load() {
+        let fig = channel_sweep(&small_base(), &MeasurementProtocol::quick());
+        assert_eq!(fig.series.len(), CHANNEL_TTR_GRID.len());
+        for s in &fig.series {
+            assert_eq!(s.points.len(), CHANNEL_GRID.len());
+            assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y > 0.0));
+        }
+        // At the loaded end (the last series — VC intensity grows with
+        // TTR) more channels must strictly help: K-fold bandwidth shortens
+        // both the push cycle and the pull queue.
+        let loaded = fig.series.last().unwrap();
+        let (k1, k8) = (loaded.points[0].1, loaded.points.last().unwrap().1);
+        assert!(
+            k8 < k1,
+            "8 channels must beat 1 at TTR=250: k1={k1} k8={k8}"
+        );
     }
 
     #[test]

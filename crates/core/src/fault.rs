@@ -92,6 +92,14 @@ impl FaultLayer {
         lost
     }
 
+    /// Whether a brownout window covers `now` — the pure query behind
+    /// [`FaultLayer::brownout_discard`], counting nothing. The K-channel
+    /// world samples it per channel (with each channel's phase shift) for
+    /// the `fault.ch<k>.state` observability timelines.
+    pub fn in_brownout(&self, now: f64) -> bool {
+        self.cfg.in_brownout(now)
+    }
+
     /// Clock check against the brownout window (no randomness); counts and
     /// returns `true` when the server discards the request.
     pub fn brownout_discard(&mut self, now: f64) -> bool {

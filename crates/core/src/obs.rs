@@ -40,6 +40,28 @@ pub(crate) struct ObsState {
     /// is bandwidth charged to its disk), sampled at every slot boundary;
     /// `None` unless the `disk_share` obs knob is on.
     disk_share: Option<DiskShare>,
+    /// Per-channel instrumentation of the K-channel extension; `None`
+    /// unless `num_channels > 1`, so single-channel reports keep their
+    /// exact pre-extension key set.
+    channels: Option<ChannelObs>,
+}
+
+/// Per-channel timelines of the K-channel world: shard queue depths, the
+/// cumulative share of push slots each channel carries, and (when a
+/// channel-fault layer runs) each channel's phase-shifted brownout state.
+#[derive(Debug, Clone)]
+struct ChannelObs {
+    /// One `server.ch<k>.queue_depth` timeline per pull shard.
+    depth: Vec<Timeline>,
+    /// Push slots (pages and padding) carried by each channel so far.
+    push_counts: Vec<u64>,
+    /// Push slots carried overall (the share denominator).
+    push_total: u64,
+    /// One `broadcast.ch<k>.share` timeline per channel.
+    share: Vec<Timeline>,
+    /// One `fault.ch<k>.state` timeline per channel (0 clear / 1 browned
+    /// out); empty when no channel-fault layer is configured.
+    fault_state: Vec<Timeline>,
 }
 
 /// Running per-disk push-slot counters with one cumulative-share timeline
@@ -67,6 +89,65 @@ impl ObsState {
             mc_hit_rate: None,
             fault_state: None,
             disk_share: None,
+            channels: None,
+        }
+    }
+
+    /// Start the per-channel timelines of the K-channel extension.
+    /// `with_fault_state` adds the per-channel brownout-state timelines
+    /// (only meaningful when a channel-fault layer runs).
+    pub(crate) fn enable_channels(&mut self, num: usize, with_fault_state: bool) {
+        self.channels = Some(ChannelObs {
+            depth: vec![Timeline::new(self.cfg.timeline_stride); num],
+            push_counts: vec![0; num],
+            push_total: 0,
+            share: vec![Timeline::new(self.cfg.timeline_stride); num],
+            fault_state: if with_fault_state {
+                vec![Timeline::new(self.cfg.timeline_stride); num]
+            } else {
+                Vec::new()
+            },
+        });
+    }
+
+    /// Sample every shard's queue depth at a slot boundary.
+    pub(crate) fn on_slot_channel_depths(&mut self, now: f64, depths: &[usize]) {
+        if let Some(ch) = &mut self.channels {
+            for (tl, &d) in ch.depth.iter_mut().zip(depths) {
+                tl.update(now, d as f64);
+            }
+        }
+    }
+
+    /// Charge one push slot (page or padding) to channel `k`.
+    pub(crate) fn on_push_slot_channel(&mut self, k: usize) {
+        if let Some(ch) = &mut self.channels {
+            if k < ch.push_counts.len() {
+                ch.push_counts[k] += 1;
+                ch.push_total += 1;
+            }
+        }
+    }
+
+    /// Sample every channel's cumulative push-slot share at a slot
+    /// boundary. Nothing is recorded before the first push slot.
+    pub(crate) fn on_slot_channel_share(&mut self, now: f64) {
+        if let Some(ch) = &mut self.channels {
+            if ch.push_total > 0 {
+                for (tl, &n) in ch.share.iter_mut().zip(&ch.push_counts) {
+                    tl.update(now, n as f64 / ch.push_total as f64);
+                }
+            }
+        }
+    }
+
+    /// Sample every channel's brownout state (1 browned out, 0 clear) at a
+    /// slot boundary; a no-op when the fault-state timelines are off.
+    pub(crate) fn on_slot_channel_fault(&mut self, now: f64, states: &[f64]) {
+        if let Some(ch) = &mut self.channels {
+            for (tl, &s) in ch.fault_state.iter_mut().zip(states) {
+                tl.update(now, s);
+            }
         }
     }
 
@@ -167,6 +248,17 @@ impl ObsState {
         if let Some(ds) = &self.disk_share {
             for (k, tl) in ds.timelines.iter().enumerate() {
                 report.add_timeline(&format!("broadcast.disk{k}.share"), tl.sealed(t_end));
+            }
+        }
+        if let Some(ch) = &self.channels {
+            for (k, tl) in ch.depth.iter().enumerate() {
+                report.add_timeline(&format!("server.ch{k}.queue_depth"), tl.sealed(t_end));
+            }
+            for (k, tl) in ch.share.iter().enumerate() {
+                report.add_timeline(&format!("broadcast.ch{k}.share"), tl.sealed(t_end));
+            }
+            for (k, tl) in ch.fault_state.iter().enumerate() {
+                report.add_timeline(&format!("fault.ch{k}.state"), tl.sealed(t_end));
             }
         }
         let m = &mut report.metrics;

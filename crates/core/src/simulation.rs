@@ -30,12 +30,13 @@ use crate::config::{
 use crate::fault::{ConservationLedger, CrashReport, FaultLayer, FaultReport};
 use crate::obs::ObsState;
 use bpp_broadcast::{
-    assignment::identity_ranking, Assignment, BroadcastProgram, DiskSpec, PageId, Slot,
+    assignment::identity_ranking, hot_access_sets, Assignment, BroadcastProgram, DiskSpec,
+    MultiChannelProgram, PageId, Slot,
 };
 use bpp_cache::{LfuCache, LruCache, ReplacementPolicy, StaticScoreCache};
 use bpp_client::{
-    BeginOutcome, ClientArena, MeasuredClient, RetryPolicy, RetryState, ThresholdFilter, VcAccess,
-    VirtualClient, WakeOutcome, WarmupTracker,
+    best_channel, fallback_channel, BeginOutcome, ClientArena, MeasuredClient, RetryPolicy,
+    RetryState, ThresholdFilter, VcAccess, VirtualClient, WakeOutcome, WarmupTracker,
 };
 use bpp_obs::{EngineObs, ObsReport};
 use bpp_server::{
@@ -358,6 +359,44 @@ impl CrashState {
     }
 }
 
+/// One channel's pull service in the K-channel extension: its own bounded
+/// queue, PullBW coin and (when degradation is configured) saturation
+/// watcher. The backchannel is sharded by tuned channel so a pull response
+/// flies on the channel its requesters are listening to.
+struct PullShard {
+    queue: RequestQueue,
+    mux: BandwidthMux,
+    saturation: Option<SaturationDetector>,
+}
+
+/// Everything the K-channel extension adds to the world. Built only when
+/// `num_channels > 1`; a single-channel run allocates none of this and
+/// executes the exact legacy instruction stream (the golden-safety
+/// invariant of the extension).
+struct MultiChannelState {
+    /// The generated K-channel program — conflict-free by construction
+    /// (every access set confined to one channel; bpp-verify rule V6).
+    channels: MultiChannelProgram,
+    /// Per-channel schedule cursors, advanced in lock step: every channel
+    /// carries one slot per broadcast unit, so K channels are K-fold
+    /// aggregate bandwidth.
+    cursors: Vec<usize>,
+    /// Per-channel threshold filters (each channel has its own cycle).
+    filters: Vec<ThresholdFilter>,
+    /// Per-channel pull service.
+    shards: Vec<PullShard>,
+    /// The channel the Measured Client is tuned to. Set on every miss
+    /// (via [`best_channel`] / [`fallback_channel`]) and left in place
+    /// after delivery — an idle single-tuner radio stays where it was,
+    /// which is what gates prefetch to one channel at a time.
+    mc_tuned: usize,
+    /// Per-channel brownout phase shifts: channel `k`'s backchannel judges
+    /// brownout windows at `now + shift[k]`, staggering the windows so one
+    /// brownout never blacks out every shard at once. Channel 0's shift is
+    /// a whole period — i.e. the unshifted base phase.
+    brownout_shifts: Vec<f64>,
+}
+
 /// The assembled simulation state.
 pub struct World {
     program: BroadcastProgram,
@@ -371,6 +410,9 @@ pub struct World {
     /// stands in and the instruction stream is byte-identical to the
     /// pre-fleet simulator.
     fleet: Option<ClientArena>,
+    /// The K-channel extension (`num_channels > 1` only); `None` runs the
+    /// single-channel world byte-identically to the pre-extension code.
+    multi: Option<MultiChannelState>,
     rng_fleet: Xoshiro256pp,
     vc_threshold: ThresholdFilter,
     next_vc_arrival: Time,
@@ -450,13 +492,14 @@ impl World {
         cfg.assert_valid();
 
         // --- Broadcast program (the server builds it for the population
-        // pattern; Pure-Pull broadcasts nothing). ---
+        // pattern; Pure-Pull broadcasts nothing). The ranked assignment is
+        // kept because the K-channel generator partitions it. ---
         let ranking = identity_ranking(cfg.db_size);
-        let program = if cfg.algorithm == Algorithm::PurePull {
+        let assignment = if cfg.algorithm == Algorithm::PurePull {
             let spec = DiskSpec::flat(cfg.db_size);
             let mut a = Assignment::from_ranking(&ranking, &spec);
             a.chop(cfg.db_size);
-            BroadcastProgram::generate(&a, cfg.db_size)
+            a
         } else {
             let spec = DiskSpec::new(cfg.disk_sizes.clone(), cfg.rel_freqs.clone());
             let mut a = if cfg.offset {
@@ -465,8 +508,9 @@ impl World {
                 Assignment::from_ranking(&ranking, &spec)
             };
             a.chop(cfg.chop);
-            BroadcastProgram::generate(&a, cfg.db_size)
+            a
         };
+        let program = BroadcastProgram::generate(&assignment, cfg.db_size);
 
         // --- Access patterns. ---
         let zipf = Zipf::new(cfg.db_size, cfg.zipf_theta);
@@ -580,20 +624,66 @@ impl World {
             || fault_cfg.has_brownouts();
         let crash_active = fault_cfg.crash.enabled();
         let fleet_active = fleet.is_some();
-        let queue = {
-            let mut q = RequestQueue::with_discipline(
-                cfg.server_queue_size,
-                match cfg.queue_discipline {
-                    QueueDiscipline::Fifo => Discipline::Fifo,
-                    QueueDiscipline::MostRequested => Discipline::MostRequested,
-                },
-            );
+        let discipline = match cfg.queue_discipline {
+            QueueDiscipline::Fifo => Discipline::Fifo,
+            QueueDiscipline::MostRequested => Discipline::MostRequested,
+        };
+        let make_queue = || {
+            let mut q = RequestQueue::with_discipline(cfg.server_queue_size, discipline);
             q.set_overflow(fault_cfg.overflow);
             if cfg.obs.enabled {
                 q.track_waits();
             }
             q
         };
+        let queue = make_queue();
+
+        // --- K-channel extension: partition the ranked assignment across
+        // `num_channels` lock-step channels and shard the pull service per
+        // channel. The generator confines every hot access set to one
+        // channel, so the placement passes verify rule V6 by construction;
+        // the access sets are derived exactly as bpp-verify derives them
+        // (hottest uncached broadcast pages against the ideal cache), so
+        // the simulated placement is the verified placement. ---
+        let multi = (cfg.num_channels > 1).then(|| {
+            let weights = zipf.probs().to_vec();
+            let cached = crate::analytic::ideal_cache(cfg, &program);
+            let sets = hot_access_sets(&program, &weights, &cached);
+            let channels =
+                MultiChannelProgram::generate(&assignment, cfg.db_size, cfg.num_channels, &sets);
+            let filters: Vec<ThresholdFilter> = (0..cfg.num_channels)
+                .map(|k| {
+                    let cycle = channels.channel(k).major_cycle();
+                    if cfg.algorithm == Algorithm::PurePull || cycle == 0 {
+                        ThresholdFilter::pass_all()
+                    } else {
+                        ThresholdFilter::from_percentage(cfg.thres_perc, cycle)
+                    }
+                })
+                .collect();
+            let shards: Vec<PullShard> = (0..cfg.num_channels)
+                .map(|_| PullShard {
+                    queue: make_queue(),
+                    mux: BandwidthMux::new(cfg.effective_pull_bw()),
+                    saturation: fault_cfg
+                        .degrade
+                        .enabled()
+                        .then(|| SaturationDetector::new(fault_cfg.degrade)),
+                })
+                .collect();
+            let k_f = cfg.num_channels as f64;
+            let brownout_shifts = (0..cfg.num_channels)
+                .map(|k| (cfg.num_channels - k) as f64 * fault_cfg.brownout_period / k_f)
+                .collect();
+            MultiChannelState {
+                channels,
+                cursors: vec![0; cfg.num_channels],
+                filters,
+                shards,
+                mc_tuned: 0,
+                brownout_shifts,
+            }
+        });
 
         World {
             program,
@@ -603,6 +693,7 @@ impl World {
             mc,
             vc,
             fleet,
+            multi,
             // bpp-lint: allow(D7): fleet-owned bpp-client arena forwards draws into bpp-workload samplers; every draw is fleet-initiated
             rng_fleet: stream_rng(cfg.seed, streams::FLEET),
             vc_threshold: threshold,
@@ -646,9 +737,8 @@ impl World {
                 )
             }),
             fault_enabled: fault_cfg.enabled(),
-            saturation: fault_cfg
-                .degrade
-                .enabled()
+            // In K-channel mode the shards own the detectors instead.
+            saturation: (fault_cfg.degrade.enabled() && cfg.num_channels == 1)
                 .then(|| SaturationDetector::new(fault_cfg.degrade)),
             base_pull_bw: cfg.effective_pull_bw(),
             retry: fault_cfg.retry,
@@ -670,6 +760,9 @@ impl World {
                 }
                 if crash_active {
                     o.enable_fault_state();
+                }
+                if cfg.num_channels > 1 {
+                    o.enable_channels(cfg.num_channels, fault_cfg.has_brownouts());
                 }
                 o
             }),
@@ -765,11 +858,58 @@ impl World {
         &self.queue
     }
 
+    /// Whole-run queue statistics, summed over every pull shard in
+    /// K-channel mode (the legacy queue is idle there and contributes
+    /// zeros; in single-channel mode it is the only term).
+    pub fn total_queue_stats(&self) -> QueueStats {
+        let mut total = *self.queue.stats();
+        if let Some(m) = &self.multi {
+            for s in &m.shards {
+                let q = s.queue.stats();
+                total.received += q.received;
+                total.enqueued += q.enqueued;
+                total.coalesced += q.coalesced;
+                total.dropped_full += q.dropped_full;
+                total.dropped_evicted += q.dropped_evicted;
+                total.served += q.served;
+                total.served_requests += q.served_requests;
+                total.evicted_requests += q.evicted_requests;
+            }
+        }
+        total
+    }
+
+    /// Per-run saturation-detector totals, summed over every shard in
+    /// K-channel mode: `(degradations, recoveries, saturated_slots)`, or
+    /// `None` when no detector is configured anywhere.
+    fn saturation_totals(&self) -> Option<(u64, u64, u64)> {
+        let mut any = false;
+        let mut t = (0u64, 0u64, 0u64);
+        let mut fold = |sat: &SaturationDetector| {
+            any = true;
+            let s = sat.stats();
+            t.0 += s.degradations;
+            t.1 += s.recoveries;
+            t.2 += s.saturated_slots;
+        };
+        if let Some(sat) = &self.saturation {
+            fold(sat);
+        }
+        if let Some(m) = &self.multi {
+            for s in &m.shards {
+                if let Some(sat) = &s.saturation {
+                    fold(sat);
+                }
+            }
+        }
+        any.then_some(t)
+    }
+
     /// Queue statistics restricted to the measurement window (total minus
     /// the snapshot taken when Measure began). Whole-run stats if the run
     /// never reached Measure.
     pub fn measured_queue_stats(&self) -> QueueStats {
-        let total = *self.queue.stats();
+        let total = self.total_queue_stats();
         match self.queue_stats_at_measure {
             None => total,
             Some(at) => QueueStats {
@@ -796,21 +936,18 @@ impl World {
             .as_ref()
             .map(|f| *f.counters())
             .unwrap_or_default();
-        let sat = self
-            .saturation
-            .as_ref()
-            .map(|d| *d.stats())
-            .unwrap_or_default();
-        let q = self.queue.stats();
+        let (degradations, recoveries, saturated_slots) =
+            self.saturation_totals().unwrap_or_default();
+        let q = self.total_queue_stats();
         Some(FaultReport {
             channel,
             dropped_full: q.dropped_full,
             dropped_evicted: q.dropped_evicted,
             retries: self.retries,
             retries_exhausted: self.retries_exhausted,
-            degradations: sat.degradations,
-            recoveries: sat.recoveries,
-            saturated_slots: sat.saturated_slots,
+            degradations,
+            recoveries,
+            saturated_slots,
             crash: self.crash_report(),
         })
     }
@@ -858,7 +995,11 @@ impl World {
             .as_ref()
             .map(|f| *f.counters())
             .unwrap_or_default();
-        let q = self.queue.stats();
+        let q = self.total_queue_stats();
+        let in_flight = self.queue.pending_requests()
+            + self.multi.as_ref().map_or(0, |m| {
+                m.shards.iter().map(|s| s.queue.pending_requests()).sum()
+            });
         ConservationLedger {
             sent: self.audit_sent,
             lost_in_transit: channel.requests_lost,
@@ -871,7 +1012,7 @@ impl World {
             dropped_full: q.dropped_full,
             evicted: q.evicted_requests,
             served: q.served_requests,
-            in_flight_at_end: self.queue.pending_requests(),
+            in_flight_at_end: in_flight,
             peak_queue_depth: self.peak_queue_depth,
             queue_capacity: self.queue.capacity() as u64,
             time_regressions: self.time_regressions,
@@ -890,10 +1031,18 @@ impl World {
 
     /// Re-point the brownout window mid-run (chaos-phase transitions). A
     /// no-op without a channel-fault layer, for the same reason as
-    /// [`set_channel_loss`](World::set_channel_loss).
+    /// [`set_channel_loss`](World::set_channel_loss). In K-channel mode the
+    /// per-channel phase shifts follow the live period, so the staggering
+    /// invariant (`shift[k] = (K-k)·period/K`) survives phase changes.
     pub fn set_brownout(&mut self, period: f64, duration: f64) {
         if let Some(f) = &mut self.fault {
             f.set_brownout(period, duration);
+            if let Some(m) = &mut self.multi {
+                let k_f = m.brownout_shifts.len() as f64;
+                for (k, shift) in m.brownout_shifts.iter_mut().enumerate() {
+                    *shift = (m.shards.len() - k) as f64 * period / k_f;
+                }
+            }
         }
     }
 
@@ -915,18 +1064,17 @@ impl World {
         m.add("server.slots.pull", self.slots.pull_pages);
         m.add("server.slots.empty", self.slots.empty);
         m.add("server.slots.idle", self.slots.idle);
-        let q = self.queue.stats();
+        let q = self.total_queue_stats();
         m.add("server.queue.received", q.received);
         m.add("server.queue.enqueued", q.enqueued);
         m.add("server.queue.coalesced", q.coalesced);
         m.add("server.queue.dropped_full", q.dropped_full);
         m.add("server.queue.dropped_evicted", q.dropped_evicted);
         m.add("server.queue.served", q.served);
-        if let Some(sat) = &self.saturation {
-            let s = sat.stats();
-            m.add("server.saturation.degradations", s.degradations);
-            m.add("server.saturation.recoveries", s.recoveries);
-            m.add("server.saturation.saturated_slots", s.saturated_slots);
+        if let Some((degradations, recoveries, saturated_slots)) = self.saturation_totals() {
+            m.add("server.saturation.degradations", degradations);
+            m.add("server.saturation.recoveries", recoveries);
+            m.add("server.saturation.saturated_slots", saturated_slots);
         }
         let mc = self.mc.stats();
         m.add("client.mc.accesses", mc.accesses);
@@ -973,6 +1121,17 @@ impl World {
     /// The generated broadcast program.
     pub fn program(&self) -> &BroadcastProgram {
         &self.program
+    }
+
+    /// Channels the broadcast runs on (1 unless the K-channel extension
+    /// is active).
+    pub fn num_channels(&self) -> usize {
+        self.multi.as_ref().map_or(1, |m| m.shards.len())
+    }
+
+    /// The generated K-channel program, when `num_channels > 1`.
+    pub fn channels(&self) -> Option<&MultiChannelProgram> {
+        self.multi.as_ref().map(|m| &m.channels)
     }
 
     /// Update-process counters: `(updates applied, MC invalidations)`.
@@ -1067,6 +1226,14 @@ impl World {
     /// remaining layers draw no randomness at all. With no crash domain
     /// configured this is exactly the pre-crash delivery path.
     fn submit_request(&mut self, now: Time, page: PageId) -> SendOutcome {
+        self.submit_request_in(now, page, None)
+    }
+
+    /// [`submit_request`](World::submit_request) with an explicit target:
+    /// `Some(k)` lands the request in pull shard `k` (K-channel mode) and
+    /// judges brownouts at channel `k`'s phase-shifted clock; `None` is
+    /// the single-channel queue at the base brownout phase.
+    fn submit_request_in(&mut self, now: Time, page: PageId, shard: Option<usize>) -> SendOutcome {
         self.audit_sent += 1;
         if let Some(f) = &mut self.fault {
             if f.transit_lost() {
@@ -1079,8 +1246,12 @@ impl World {
                 return SendOutcome::Refused;
             }
         }
+        let brownout_clock = now
+            + shard
+                .and_then(|k| self.multi.as_ref().map(|m| m.brownout_shifts[k]))
+                .unwrap_or(0.0);
         if let Some(f) = &mut self.fault {
-            if f.brownout_discard(now) {
+            if f.brownout_discard(brownout_clock) {
                 return SendOutcome::Silent;
             }
         }
@@ -1089,7 +1260,14 @@ impl World {
                 return SendOutcome::RetryAfter(a.retry_after());
             }
         }
-        self.queue.submit_at(page, now);
+        match (shard, &mut self.multi) {
+            (Some(k), Some(m)) => {
+                m.shards[k].queue.submit_at(page, now);
+            }
+            _ => {
+                self.queue.submit_at(page, now);
+            }
+        }
         SendOutcome::Silent
     }
 
@@ -1137,18 +1315,37 @@ impl World {
             // orphaned, the saturation EWMA and the adaptive controller's
             // learning are gone. Run-level counters survive — they belong
             // to the measurement, not to server memory.
-            let orphans = self.queue.crash_drain();
+            let mut orphans = self.queue.crash_drain();
+            if let Some(m) = &mut self.multi {
+                for s in &mut m.shards {
+                    orphans += s.queue.crash_drain();
+                    if let Some(sat) = &mut s.saturation {
+                        sat.crash_reset();
+                    }
+                }
+            }
             if let Some(c) = &mut self.crash {
                 c.orphaned_drained += orphans;
             }
             if let Some(sat) = &mut self.saturation {
                 sat.crash_reset();
             }
+            let agg = self.total_queue_stats();
             if let Some(ctrl) = &mut self.adaptive {
-                let (bw, thres) = ctrl.crash_reset(self.queue.stats());
+                let (bw, thres) = ctrl.crash_reset(&agg);
                 self.mux.set_pull_bw(bw);
                 self.base_pull_bw = bw;
-                if self.program.major_cycle() > 0 {
+                if let Some(m) = &mut self.multi {
+                    for shard in &mut m.shards {
+                        shard.mux.set_pull_bw(bw);
+                    }
+                    for k in 0..m.filters.len() {
+                        let cycle = m.channels.channel(k).major_cycle();
+                        if cycle > 0 {
+                            m.filters[k] = ThresholdFilter::from_percentage(thres, cycle);
+                        }
+                    }
+                } else if self.program.major_cycle() > 0 {
                     let f = ThresholdFilter::from_percentage(thres, self.program.major_cycle());
                     self.mc.set_threshold(f);
                     self.vc_threshold = f;
@@ -1178,13 +1375,26 @@ impl World {
             let access = vc.access(&mut self.rng_vc);
             self.next_vc_arrival += vc.next_interarrival(&mut self.rng_vc);
             if let VcAccess::Miss(page) = access {
-                if self
-                    .vc_threshold
-                    .should_request(&self.program, page, self.cursor)
-                {
+                // Route the miss: in K-channel mode the access tunes to
+                // the best channel and is filtered against that channel's
+                // schedule; single-channel keeps the legacy filter.
+                let route = match &self.multi {
+                    Some(m) => {
+                        let k = best_channel(&m.channels, &m.cursors, page)
+                            .unwrap_or_else(|| fallback_channel(page, m.shards.len()));
+                        m.filters[k]
+                            .should_request(m.channels.channel(k), page, m.cursors[k])
+                            .then_some(Some(k))
+                    }
+                    None => self
+                        .vc_threshold
+                        .should_request(&self.program, page, self.cursor)
+                        .then_some(None),
+                };
+                if let Some(shard) = route {
                     // VC requests ride the same lossy backchannel as the
                     // MC's (brownouts judged at the actual arrival time).
-                    self.submit_request(at, page);
+                    self.submit_request_in(at, page, shard);
                     if let Some(obs) = &mut self.obs {
                         obs.vc_requests_sent += 1;
                     }
@@ -1193,6 +1403,297 @@ impl World {
                 }
             }
         }
+    }
+
+    /// The pull shard a fleet client's request belongs to: the channel it
+    /// tuned to at the miss, or the page's deterministic fallback shard.
+    /// `None` in single-channel mode.
+    fn fleet_shard(&self, client: u32, page: PageId) -> Option<usize> {
+        let m = self.multi.as_ref()?;
+        let tuned = self
+            .fleet
+            .as_ref()
+            .and_then(|fleet| fleet.tuned_channel(client));
+        Some(tuned.unwrap_or_else(|| fallback_channel(page, m.shards.len())))
+    }
+
+    /// The Measured Client wakes in K-channel mode: the access draws the
+    /// exact same `MC`-stream variates as the single-channel path, then
+    /// tunes to the channel minimizing its expected wait for the missed
+    /// page and requests through that channel's shard.
+    fn mc_wake_multi(&mut self, now: Time, sched: &mut Scheduler<Event>) {
+        // bpp-lint: allow(D3): dispatch guard — Event::McWake routes here only when multi is Some
+        let m = self.multi.as_ref().expect("caller checked multi mode");
+        let (outcome, tuned) =
+            self.mc
+                .begin_access_tuned(now, &m.channels, &m.cursors, &m.filters, &mut self.rng_mc);
+        let num_shards = m.shards.len();
+        match outcome {
+            BeginOutcome::Hit { .. } => {
+                self.complete_mc_access(now, 0.0);
+                let think = self.mc.draw_think(&mut self.rng_mc);
+                sched.schedule_in(think, Event::McWake);
+            }
+            BeginOutcome::Miss { page, send_request } => {
+                let k = tuned.unwrap_or_else(|| fallback_channel(page, num_shards));
+                // bpp-lint: allow(D3): same Option the dispatch guard just unwrapped
+                self.multi.as_mut().expect("multi mode").mc_tuned = k;
+                // Invalidate any retry timer armed for an earlier access,
+                // whether or not this one sends a request.
+                self.retry_gen += 1;
+                if self.has_backchannel && send_request {
+                    let outcome = self.submit_request_in(now, page, Some(k));
+                    if self.retry.enabled() {
+                        self.retry_state = RetryState::arm();
+                        if let Some(d) = self
+                            .retry_state
+                            .next_delay(&self.retry, &mut self.rng_retry)
+                        {
+                            let d = reconnect_delay(
+                                d,
+                                outcome,
+                                self.reconnect_jitter,
+                                &mut self.rng_retry,
+                            );
+                            sched.schedule_at(
+                                now + d,
+                                Event::McRetry {
+                                    gen: self.retry_gen,
+                                },
+                            );
+                        }
+                    }
+                }
+                // The client now blocks; `multi_slot` completes it.
+            }
+        }
+    }
+
+    /// One broadcast unit of the K-channel world. Every channel carries
+    /// one slot per unit (K channels = K-fold aggregate bandwidth); each
+    /// channel runs its own saturation watcher, MUX coin and pull shard,
+    /// always in ascending channel order so the `MUX` stream's draw
+    /// sequence is a deterministic function of the shard backlogs.
+    fn multi_slot(&mut self, now: Time, sched: &mut Scheduler<Event>) {
+        // bpp-lint: allow(D3): dispatch guard — Event::Slot routes here only when multi is Some
+        let num = self.multi.as_ref().expect("caller checked").shards.len();
+        // Peak depth is the worst single shard: capacity is per shard, so
+        // the ledger's depth-vs-capacity comparison stays meaningful.
+        {
+            // bpp-lint: allow(D3): same Option the dispatch guard just unwrapped
+            let m = self.multi.as_ref().expect("multi mode");
+            for s in &m.shards {
+                let depth = s.queue.len() as u64;
+                if depth > self.peak_queue_depth {
+                    self.peak_queue_depth = depth;
+                }
+            }
+        }
+        if self.crash.is_some() {
+            self.crash_edges(now);
+        }
+        if self.obs.is_some() {
+            // bpp-lint: allow(D3): same Option the dispatch guard just unwrapped
+            let m = self.multi.as_ref().expect("multi mode");
+            let depths: Vec<usize> = m.shards.iter().map(|s| s.queue.len()).collect();
+            let total: usize = depths.iter().sum();
+            let brownouts: Vec<f64> = match &self.fault {
+                Some(f) => m
+                    .brownout_shifts
+                    .iter()
+                    .map(|&shift| f64::from(f.in_brownout(now + shift)))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let fleet_hit_rate = self.fleet.as_ref().map(|f| f.stats().hit_rate());
+            let mc_hit_rate = self.mc.stats().hit_rate();
+            let crash_state = self.crash.as_ref().map(|c| {
+                if c.down {
+                    1.0
+                } else if c.recovering {
+                    2.0
+                } else {
+                    0.0
+                }
+            });
+            if let Some(obs) = self.obs.as_mut() {
+                obs.on_slot(now, total);
+                obs.on_slot_channel_depths(now, &depths);
+                obs.on_slot_channel_share(now);
+                if !brownouts.is_empty() {
+                    obs.on_slot_channel_fault(now, &brownouts);
+                }
+                if let Some(hr) = fleet_hit_rate {
+                    obs.on_slot_fleet(now, hr);
+                }
+                obs.on_slot_mc_hit_rate(now, mc_hit_rate);
+                if let Some(state) = crash_state {
+                    obs.on_slot_fault_state(now, state);
+                }
+            }
+        }
+        // A dead server broadcasts nothing on any channel and serves no
+        // pulls; client-side processes keep running against it.
+        let down = match &mut self.crash {
+            Some(c) if c.down => {
+                c.down_slots += 1;
+                true
+            }
+            _ => false,
+        };
+        if down {
+            self.drain_vc(now + 1.0);
+            if let Some(up) = &mut self.updates {
+                up.drain(now + 1.0, &mut self.mc);
+            }
+            sched.schedule_at(now + 1.0, Event::Slot);
+            return;
+        }
+        if let Some(c) = &mut self.crash {
+            if c.recovering {
+                let herd: u64 = self
+                    .multi
+                    .as_ref()
+                    // bpp-lint: allow(D3): same Option the dispatch guard just unwrapped
+                    .expect("multi mode")
+                    .shards
+                    .iter()
+                    .map(|s| s.queue.pending_requests())
+                    .sum();
+                if herd > c.herd_peak_depth {
+                    c.herd_peak_depth = herd;
+                }
+            }
+        }
+        // Per-shard saturation: each channel sheds its own pull bandwidth.
+        for k in 0..num {
+            // bpp-lint: allow(D3): same Option the dispatch guard just unwrapped
+            let m = self.multi.as_mut().expect("multi mode");
+            let shard = &mut m.shards[k];
+            if let Some(sat) = &mut shard.saturation {
+                let was_saturated = sat.is_saturated();
+                let mult = sat.observe(shard.queue.len(), shard.queue.capacity());
+                shard.mux.set_pull_bw(self.base_pull_bw * mult);
+                let flipped = sat.is_saturated() != was_saturated;
+                let on = sat.is_saturated();
+                let occupancy = sat.occupancy();
+                if flipped {
+                    if let Some(obs) = &mut self.obs {
+                        let label = if on {
+                            "saturation_on"
+                        } else {
+                            "saturation_off"
+                        };
+                        obs.trace(now, label, occupancy);
+                    }
+                }
+            }
+        }
+        // Decide and transmit one slot per channel.
+        let mut transmitted: Vec<Option<PageId>> = Vec::with_capacity(num);
+        for k in 0..num {
+            // bpp-lint: allow(D3): same Option the dispatch guard just unwrapped
+            let m = self.multi.as_mut().expect("multi mode");
+            let decision = {
+                let shard = &mut m.shards[k];
+                shard.mux.decide(shard.queue.is_empty(), &mut self.rng_mux)
+            };
+            let page = match decision {
+                SlotDecision::ServePull => {
+                    let (p, wait) = m.shards[k]
+                        .queue
+                        .pop_wait(now)
+                        // bpp-lint: allow(D3): the MUX decides ServePull only when queue_empty is false
+                        .expect("MUX only pulls when non-empty");
+                    self.slots.pull_pages += 1;
+                    if let (Some(obs), Some(w)) = (&mut self.obs, wait) {
+                        obs.record_pull_wait(w);
+                    }
+                    Some(p)
+                }
+                SlotDecision::ContinuePush => {
+                    let cycle = m.channels.channel(k).major_cycle();
+                    if cycle == 0 {
+                        self.slots.idle += 1;
+                        None
+                    } else {
+                        let s = m.channels.channel(k).slot(m.cursors[k]);
+                        m.cursors[k] = (m.cursors[k] + 1) % cycle;
+                        if let Some(obs) = &mut self.obs {
+                            // Padding too: it is bandwidth charged to the
+                            // channel whose chunking produced it.
+                            obs.on_push_slot_channel(k);
+                        }
+                        match s {
+                            Slot::Page(p) => {
+                                self.slots.push_pages += 1;
+                                Some(p)
+                            }
+                            Slot::Empty => {
+                                self.slots.empty += 1;
+                                None
+                            }
+                        }
+                    }
+                }
+            };
+            transmitted.push(page);
+        }
+        // Deliver: a single-tuner client hears exactly one channel. The
+        // generator puts every page on one channel (and requests shard the
+        // same way), so a page's waiters are always tuned where it flies;
+        // the tuned gate below matters for opportunistic prefetch only.
+        for (k, page) in transmitted.into_iter().enumerate() {
+            let Some(p) = page else { continue };
+            // A lost slot still burns the bandwidth: the page was
+            // transmitted but no listener heard it.
+            let lost = match &mut self.fault {
+                Some(f) => f.page_lost(),
+                None => false,
+            };
+            if lost {
+                continue;
+            }
+            // bpp-lint: allow(D3): same Option the dispatch guard just unwrapped
+            if self.multi.as_ref().expect("multi mode").mc_tuned == k {
+                // The page completes transmission at now + 1.
+                if let Some(resp) = self.mc.on_broadcast(now + 1.0, p) {
+                    self.complete_mc_access(now + 1.0, resp);
+                    let think = self.mc.draw_think(&mut self.rng_mc);
+                    sched.schedule_at(now + 1.0 + think, Event::McWake);
+                } else if self.prefetch {
+                    self.mc.prefetch(now + 1.0, p);
+                }
+            }
+            if let Some(fleet) = &mut self.fleet {
+                for &(client, at) in fleet.deliver(p, now + 1.0, &mut self.rng_fleet) {
+                    sched.schedule_at(at, Event::FleetWake { client });
+                }
+            }
+        }
+        self.drain_vc(now + 1.0);
+        if let Some(up) = &mut self.updates {
+            up.drain(now + 1.0, &mut self.mc);
+        }
+        if self.adaptive.is_some() {
+            let agg = self.total_queue_stats();
+            let decision = self.adaptive.as_mut().and_then(|ctrl| ctrl.on_slot(&agg));
+            if let Some((bw, thres)) = decision {
+                self.base_pull_bw = bw;
+                // bpp-lint: allow(D3): same Option the dispatch guard just unwrapped
+                let m = self.multi.as_mut().expect("multi mode");
+                for shard in &mut m.shards {
+                    shard.mux.set_pull_bw(bw);
+                }
+                for k in 0..m.filters.len() {
+                    let cycle = m.channels.channel(k).major_cycle();
+                    if cycle > 0 {
+                        m.filters[k] = ThresholdFilter::from_percentage(thres, cycle);
+                    }
+                }
+            }
+        }
+        sched.schedule_at(now + 1.0, Event::Slot);
     }
 }
 
@@ -1225,6 +1726,10 @@ impl Model for World {
             Event::Slot => {
                 if now >= self.protocol.max_sim_time {
                     self.done = true;
+                    return;
+                }
+                if self.multi.is_some() {
+                    self.multi_slot(now, sched);
                     return;
                 }
                 let depth = self.queue.len() as u64;
@@ -1379,6 +1884,10 @@ impl Model for World {
                 sched.schedule_at(now + 1.0, Event::Slot);
             }
             Event::McWake => {
+                if self.multi.is_some() {
+                    self.mc_wake_multi(now, sched);
+                    return;
+                }
                 match self
                     .mc
                     .begin_access(now, &self.program, self.cursor, &mut self.rng_mc)
@@ -1435,7 +1944,11 @@ impl Model for World {
                         if let Some(obs) = &mut self.obs {
                             obs.trace(now, "retry_resend", delay);
                         }
-                        let outcome = self.submit_request(now, page);
+                        // Resends go to the shard of the channel the MC
+                        // tuned to at the original miss (a page's channel
+                        // never changes mid-run).
+                        let shard = self.multi.as_ref().map(|m| m.mc_tuned);
+                        let outcome = self.submit_request_in(now, page, shard);
                         let delay = reconnect_delay(
                             delay,
                             outcome,
@@ -1455,11 +1968,19 @@ impl Model for World {
                 }
             }
             Event::FleetWake { client } => {
-                let outcome = match &mut self.fleet {
-                    Some(fleet) => {
+                let outcome = match (&mut self.fleet, &self.multi) {
+                    (Some(fleet), Some(m)) => fleet.wake_tuned(
+                        client,
+                        now,
+                        &m.channels,
+                        &m.cursors,
+                        &m.filters,
+                        &mut self.rng_fleet,
+                    ),
+                    (Some(fleet), None) => {
                         fleet.wake(client, now, &self.program, self.cursor, &mut self.rng_fleet)
                     }
-                    None => return,
+                    (None, _) => return,
                 };
                 match outcome {
                     WakeOutcome::Hit { next_wake } => {
@@ -1468,8 +1989,10 @@ impl Model for World {
                     WakeOutcome::Miss { page, send_request } => {
                         if send_request {
                             // Fleet requests ride the same lossy
-                            // backchannel as the MC's and VC's.
-                            let outcome = self.submit_request(now, page);
+                            // backchannel as the MC's and VC's, sharded by
+                            // the client's tuned channel in K-channel mode.
+                            let shard = self.fleet_shard(client, page);
+                            let outcome = self.submit_request_in(now, page, shard);
                             if self.retry.enabled() {
                                 let armed = match &mut self.fleet {
                                     Some(fleet) => {
@@ -1525,7 +2048,8 @@ impl Model for World {
                     None => return,
                 };
                 if let Some((page, delay)) = resend {
-                    let outcome = self.submit_request(now, page);
+                    let shard = self.fleet_shard(client, page);
+                    let outcome = self.submit_request_in(now, page, shard);
                     let delay =
                         reconnect_delay(delay, outcome, self.reconnect_jitter, &mut self.rng_fleet);
                     sched.schedule_at(now + delay, Event::FleetRetry { client, gen });
@@ -2001,6 +2525,102 @@ mod tests {
             .timelines
             .iter()
             .any(|(name, _)| name == "client.fleet.hit_rate"));
+    }
+
+    fn k_cfg(k: usize) -> SystemConfig {
+        let mut cfg = quick_cfg(Algorithm::Ipp);
+        cfg.pull_bw = 0.5;
+        cfg.num_channels = k;
+        cfg
+    }
+
+    #[test]
+    fn multi_channel_world_converges_and_splits_the_schedule() {
+        let engine = run(&k_cfg(4));
+        let w = engine.model();
+        assert_eq!(w.num_channels(), 4);
+        assert_eq!(w.phase(), Phase::Measure);
+        assert!(w.responses().mean() > 0.0);
+        assert!(w.slots().push_pages > 0, "K-channel IPP must push");
+        assert!(w.slots().pull_pages > 0, "K-channel IPP must pull");
+        // Every broadcast unit carries one slot per channel.
+        let total = w.slots().total() as f64;
+        assert!((total - 4.0 * engine.now()).abs() <= 4.0);
+    }
+
+    #[test]
+    fn more_channels_cut_response_time_at_fixed_population() {
+        // The scaling claim of the extension: K lock-step channels are
+        // K-fold bandwidth, so the mean response must drop with K.
+        let r1 = run(&k_cfg(1)).model().responses().mean();
+        let r4 = run(&k_cfg(4)).model().responses().mean();
+        assert!(r4 < r1, "K=4 mean {r4} must beat K=1 mean {r1}");
+    }
+
+    #[test]
+    fn multi_channel_run_is_bit_reproducible() {
+        let cfg = k_cfg(3);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.model().responses().mean(), b.model().responses().mean());
+        assert_eq!(a.model().slots(), b.model().slots());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.dispatched(), b.dispatched());
+    }
+
+    #[test]
+    fn single_channel_config_allocates_no_multi_state() {
+        // The golden-safety invariant: `num_channels = 1` builds none of
+        // the extension's state and runs the legacy instruction stream.
+        let engine = run(&quick_cfg(Algorithm::Ipp));
+        assert_eq!(engine.model().num_channels(), 1);
+        assert!(engine.model().channels().is_none());
+    }
+
+    #[test]
+    fn multi_channel_obs_reports_per_channel_timelines() {
+        let mut cfg = k_cfg(2);
+        cfg.obs.enabled = true;
+        let engine = run(&cfg);
+        let report = engine
+            .model()
+            .obs_report(engine.obs(), engine.now())
+            .expect("obs enabled");
+        let has = |key: String| report.timelines.iter().any(|(n, _)| *n == key);
+        for k in 0..2 {
+            assert!(has(format!("server.ch{k}.queue_depth")));
+            assert!(has(format!("broadcast.ch{k}.share")));
+        }
+        // No brownouts configured: no per-channel fault timelines.
+        assert!(report
+            .timelines
+            .iter()
+            .all(|(n, _)| !n.starts_with("fault.ch")));
+        // The channel shares partition the push bandwidth.
+        let total: f64 = (0..2)
+            .map(|k| {
+                let key = format!("broadcast.ch{k}.share");
+                let (_, tl) = report
+                    .timelines
+                    .iter()
+                    .find(|(n, _)| *n == key)
+                    .expect("present");
+                let (_, mean, _) = *tl.points().last().expect("channel was sampled");
+                mean
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "channel shares sum {total}");
+    }
+
+    #[test]
+    fn multi_channel_requests_are_conserved() {
+        let mut cfg = k_cfg(4);
+        cfg.think_time_ratio = 150.0; // heavy backchannel load
+        let engine = run(&cfg);
+        let ledger = engine.model().conservation_ledger();
+        ledger.assert_clean();
+        assert!(ledger.sent > 0);
+        assert!(ledger.served > 0);
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! thus, PullBW is only an upper limit on the bandwidth used to satisfy
 //! backchannel requests."
 
-use bpp_sim::approx::exactly_zero;
 use bpp_sim::rng::Rng;
 
 /// What the next broadcast slot should carry.
@@ -49,11 +48,18 @@ impl BandwidthMux {
 
     /// Decide the next slot. `queue_empty` short-circuits the coin: an empty
     /// queue always continues the push program.
+    ///
+    /// With a backlog, exactly one variate is consumed *regardless of the
+    /// bound's value*. A draw in `[0, 1)` compared against the bound decides
+    /// both endpoints correctly (never below `0.0`, always below `1.0`), so
+    /// short-circuiting them would only save a draw — and an adaptive
+    /// trajectory that touches `0.0` or `1.0` would then consume fewer
+    /// variates and desynchronize every later decision on this stream.
     pub fn decide<R: Rng + ?Sized>(&self, queue_empty: bool, rng: &mut R) -> SlotDecision {
-        if queue_empty || exactly_zero(self.pull_bw) {
+        if queue_empty {
             return SlotDecision::ContinuePush;
         }
-        if self.pull_bw >= 1.0 || rng.random::<f64>() < self.pull_bw {
+        if rng.random::<f64>() < self.pull_bw {
             SlotDecision::ServePull
         } else {
             SlotDecision::ContinuePush
@@ -117,5 +123,33 @@ mod tests {
     #[should_panic(expected = "PullBW must be a fraction")]
     fn out_of_range_pull_bw_panics() {
         BandwidthMux::new(1.5);
+    }
+
+    #[test]
+    fn draw_count_is_independent_of_the_bound() {
+        // An adaptive trajectory that touches the endpoints must consume
+        // exactly one variate per backlogged slot, like a flat fractional
+        // trajectory — otherwise every later decision on the stream
+        // desynchronizes the moment the bound crosses 1.0 (or 0.0).
+        let trajectory = [0.9, 1.0, 1.0, 0.9, 0.0, 0.0, 0.9, 1.0, 0.0, 0.9];
+        let mut a = Xoshiro256pp::seed_from_u64(6);
+        let mut b = Xoshiro256pp::seed_from_u64(6);
+        let mut crossing = BandwidthMux::new(0.9);
+        let flat = BandwidthMux::new(0.9);
+        for &bw in &trajectory {
+            crossing.set_pull_bw(bw);
+            let d = crossing.decide(false, &mut a);
+            flat.decide(false, &mut b);
+            // The endpoints still decide deterministically.
+            if bw >= 1.0 {
+                assert_eq!(d, SlotDecision::ServePull);
+            }
+            if bw <= 0.0 {
+                assert_eq!(d, SlotDecision::ContinuePush);
+            }
+        }
+        // Both streams sit at the same position afterwards: the next
+        // consumer of the stream sees identical variates.
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 }

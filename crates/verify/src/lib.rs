@@ -32,8 +32,8 @@ pub mod rules;
 
 use bpp_broadcast::assignment::identity_ranking;
 use bpp_broadcast::{
-    optimal_m, Assignment, BroadcastProgram, DiskSpec, IndexedProgram, IndexedSlot,
-    MultiChannelProgram, PageId, Slot,
+    hot_access_sets, optimal_m, Assignment, BroadcastProgram, DiskSpec, IndexedProgram,
+    IndexedSlot, MultiChannelProgram, PageId, Slot,
 };
 use bpp_core::analytic;
 use bpp_core::config::{Algorithm, SystemConfig};
@@ -214,7 +214,7 @@ impl Target {
         let weights = Zipf::new(cfg.db_size, cfg.zipf_theta).probs().to_vec();
         let cached = analytic::ideal_cache(cfg, &program);
         let closed = (!pure_pull).then(|| analytic::push_response(cfg));
-        Self::assemble(
+        let mut t = Self::assemble(
             label,
             &a,
             program,
@@ -223,7 +223,16 @@ impl Target {
             cfg.effective_pull_bw(),
             pure_pull,
             closed,
-        )
+        );
+        // K-channel configurations verify the placement the simulator
+        // actually airs: the conflict-aware generator over the same access
+        // sets, so V6 gates the real layout rather than the single-channel
+        // reduction.
+        if cfg.num_channels > 1 {
+            t.channels =
+                MultiChannelProgram::generate(&a, cfg.db_size, cfg.num_channels, &t.access_sets);
+        }
+        t
     }
 
     /// Build a detached target from an [`Assignment`]: the generator
@@ -369,33 +378,15 @@ impl Target {
 }
 
 /// Default V6 access set: the hottest eight uncached broadcast pages (one
-/// set). Trivially conflict-free on a single channel; the point is that
-/// every grid run exercises the precheck path end to end.
+/// set), shared with the simulator's K-channel generator
+/// ([`bpp_broadcast::hot_access_sets`]) so the verifier audits the exact
+/// sets the placement was built to keep conflict-free.
 fn default_access_sets(
     program: &BroadcastProgram,
     weights: &[f64],
     cached: &[PageId],
 ) -> Vec<Vec<PageId>> {
-    let mut is_cached = vec![false; program.db_size()];
-    for p in cached {
-        is_cached[p.index()] = true;
-    }
-    let mut hot: Vec<PageId> = (0..program.db_size() as u32)
-        .map(PageId)
-        .filter(|&p| program.contains(p) && !is_cached[p.index()])
-        .collect();
-    hot.sort_by(|a, b| {
-        weights[b.index()]
-            .partial_cmp(&weights[a.index()])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
-    hot.truncate(8);
-    if hot.is_empty() {
-        Vec::new()
-    } else {
-        vec![hot]
-    }
+    hot_access_sets(program, weights, cached)
 }
 
 /// Run every rule (V0–V6) over one target.

@@ -204,6 +204,35 @@ fn cross_channel_collision_is_caught_by_v6_alone() {
 }
 
 #[test]
+fn k_channel_config_targets_verify_clean_for_every_grid_count() {
+    // The conflict-aware generator must produce placements that pass the
+    // full rule set (V6 included) by construction, at every channel count
+    // the experiment grid sweeps.
+    for k in [2usize, 4, 8] {
+        let mut cfg = SystemConfig::small();
+        cfg.algorithm = Algorithm::Ipp;
+        cfg.pull_bw = 0.5;
+        cfg.num_channels = k;
+        let t = Target::from_config(&format!("small-ch{k}"), &cfg);
+        assert_eq!(t.channels.num_channels(), k);
+        // The simulator's hot access set rides along, so V6 audits the
+        // exact sets the placement was built around.
+        assert!(!t.access_sets.is_empty());
+        let findings = verify_target(&t);
+        assert!(findings.is_empty(), "ch{k}: {findings:?}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "outside the")]
+fn out_of_universe_access_set_page_panics_in_the_precheck() {
+    // Silently skipping an out-of-universe page would let a malformed
+    // access set pass V6 clean; the precheck must refuse it loudly instead.
+    let t = two_channel_target();
+    t.channels.conflicts(&[vec![PageId(0), PageId(10)]]);
+}
+
+#[test]
 fn mutated_labels_identify_the_corruption() {
     let t = small_target();
     let page = PageId(0);

@@ -82,9 +82,18 @@ cargo fmt --check
 ./target/release/chaos --smoke | cmp - results/chaos_smoke.json \
     || { echo "ci: chaos smoke report diverged from results/chaos_smoke.json" >&2; exit 1; }
 
+# K-channel regression: a fixed-seed four-channel cell (channel-tuning
+# clients, sharded pull service, obs layer on) must reproduce the committed
+# SteadyStateResult — including the per-channel `server.ch<k>.*` and
+# `broadcast.ch<k>.*` timelines — bit for bit.
+./target/release/channels --smoke | cmp - results/channels_smoke.json \
+    || { echo "ci: channels smoke report diverged from results/channels_smoke.json" >&2; exit 1; }
+
 # Static program verification: rules V0-V6 over every experiment-grid
 # configuration of the paper system must raise nothing (--deny exits 1 on
-# any finding and prints the report).
+# any finding and prints the report). The grid includes the K-channel
+# generator targets (K1/IPP-ch*), so every generated placement is gated on
+# conflict-freedom (rule V6) here.
 ./target/release/verify --deny \
     || { echo "ci: bpp-verify found broadcast-program violations" >&2; exit 1; }
 

@@ -77,6 +77,9 @@ fn gen_config(case: u64) -> SystemConfig {
         ClientPopulation::aggregate()
     };
 
+    // Half the cases run the K-channel extension (2 or 4 channels).
+    let num_channels = [1, 1, 2, 4][rng.random_range(0..4)];
+
     let disk_sizes = vec![unit, 4 * unit, 5 * unit];
     let db = 10 * unit;
     let slowest = 5 * unit;
@@ -103,6 +106,7 @@ fn gen_config(case: u64) -> SystemConfig {
         update_rate: upd,
         update_access_correlation: 0.5,
         seed,
+        num_channels,
         fault,
         obs,
         population,
@@ -132,9 +136,11 @@ fn any_valid_config_runs_to_completion() {
         assert!((0.0..=1.0).contains(&r.mc_hit_rate), "case {case}");
         assert!((0.0..=1.0).contains(&r.drop_rate), "case {case}");
         assert!(r.drop_rate <= r.ignore_rate + 1e-12, "case {case}");
-        // Slot conservation.
+        // Slot conservation: every broadcast unit carries one slot per
+        // channel (K channels = K-fold bandwidth).
         let total = r.slots.push_pages + r.slots.pull_pages + r.slots.empty + r.slots.idle;
-        assert!((total as f64 - r.sim_time).abs() <= 1.0, "case {case}");
+        let k = cfg.num_channels as f64;
+        assert!((total as f64 - k * r.sim_time).abs() <= k, "case {case}");
         // Algorithm bandwidth invariants.
         match cfg.algorithm {
             Algorithm::PurePush => {
